@@ -1,0 +1,150 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section on the GPU simulator, plus optional Bechamel
+   wall-clock microbenchmarks of the real kernel implementations.
+
+   Usage:
+     bench/main.exe                   run all tables and figures
+     bench/main.exe --table5 --fig6   run selected experiments
+     bench/main.exe --micro           run the Bechamel microbenchmarks
+     bench/main.exe --max-edges 9000  larger physical replicas (slower)  *)
+
+module H = Hector_experiments.Harness
+
+let experiments : (string * string * (H.t -> unit)) list =
+  [
+    ("--table1", "Table 1: FLOP/memory/launch analysis of a_HGT", Hector_experiments.Table1.run);
+    ("--fig1", "Figure 1: Graphiler vs Hector inference breakdown", Hector_experiments.Fig1.run);
+    ("--table2", "Table 2: compiler feature matrix", Hector_experiments.Table2.run);
+    ("--table4", "Table 4: datasets", Hector_experiments.Table4.run);
+    ("--fig5", "Figure 5: Hector best vs prior systems", Hector_experiments.Fig5.run);
+    ("--table5", "Table 5: compaction & fusion speedups", Hector_experiments.Table5.run);
+    ("--table6", "Table 6: unoptimized Hector vs best SOTA", Hector_experiments.Table6.run);
+    ("--fig6", "Figure 6: RGAT breakdown under U/C/F/C+F", Hector_experiments.Fig6.run);
+    ("--ablation", "Ablation: schedules, traversal strategy, devices, autotune",
+      Hector_experiments.Ablation.run);
+    ("--minibatch", "Minibatch step breakdown (extension of paper section 6)",
+      Hector_experiments.Minibatch_exp.run);
+  ]
+
+(* --- Bechamel microbenchmarks: one Test.make per table/figure, measuring
+   the real (wall-clock) execution of that experiment's core computation on
+   a small fixed input. --- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let graph =
+    Hector_graph.Generator.generate
+      {
+        Hector_graph.Generator.name = "micro";
+        num_ntypes = 3;
+        num_etypes = 8;
+        num_nodes = 300;
+        num_edges = 1000;
+        compaction_target = 0.4;
+        scale = 1.0;
+        seed = 11;
+      }
+  in
+  let compile ?(training = false) ~compact ~fusion model =
+    Hector_core.Compiler.compile
+      ~options:(Hector_core.Compiler.options_of_flags ~training ~compact ~fusion ())
+      (Hector_models.Model_defs.by_name model ~in_dim:32 ~out_dim:16 ())
+  in
+  let session ?training ~compact ~fusion model =
+    Hector_runtime.Session.create ~seed:3 ~graph (compile ?training ~compact ~fusion model)
+  in
+  let forward_test name ~compact ~fusion model =
+    let s = session ~compact ~fusion model in
+    Test.make ~name (Staged.stage (fun () -> ignore (Hector_runtime.Session.forward s)))
+  in
+  let labels = Array.init graph.Hector_graph.Hetgraph.num_nodes (fun i -> i mod 16) in
+  let train_test name model =
+    let s = session ~training:true ~compact:false ~fusion:false model in
+    Test.make ~name
+      (Staged.stage (fun () -> ignore (Hector_runtime.Session.train_step s ~labels ())))
+  in
+  [
+    (* Table 1 driver: compact-map construction *)
+    Test.make ~name:"table1/compact_map"
+      (Staged.stage (fun () -> ignore (Hector_graph.Compact_map.build graph)));
+    (* Figure 1 driver: Hector HGT inference epoch *)
+    forward_test "fig1/hgt_forward" ~compact:false ~fusion:false "hgt";
+    (* Table 4 driver: dataset replica generation *)
+    Test.make ~name:"table4/generator"
+      (Staged.stage (fun () ->
+           ignore
+             (Hector_graph.Generator.generate
+                {
+                  Hector_graph.Generator.name = "g";
+                  num_ntypes = 3;
+                  num_etypes = 8;
+                  num_nodes = 300;
+                  num_edges = 1000;
+                  compaction_target = 0.4;
+                  scale = 1.0;
+                  seed = 1;
+                })));
+    (* Figure 5 drivers: one epoch per model *)
+    forward_test "fig5/rgcn_forward" ~compact:false ~fusion:false "rgcn";
+    forward_test "fig5/rgat_forward" ~compact:false ~fusion:false "rgat";
+    train_test "fig5/rgcn_train" "rgcn";
+    (* Table 5 drivers: the optimized configurations *)
+    forward_test "table5/rgat_compact" ~compact:true ~fusion:false "rgat";
+    forward_test "table5/rgat_fused" ~compact:false ~fusion:true "rgat";
+    (* Table 6 driver: compilation itself *)
+    Test.make ~name:"table6/compile_rgat"
+      (Staged.stage (fun () -> ignore (compile ~compact:true ~fusion:true "rgat")));
+    (* Figure 6 driver: the C+F configuration *)
+    forward_test "fig6/rgat_compact_fused" ~compact:true ~fusion:true "rgat";
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let tests = micro_tests () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
+  print_endline "Bechamel microbenchmarks (wall-clock of the real implementations):";
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances (Test.make_grouped ~name:"g" ~fmt:"%s %s" [ test ])
+      in
+      let results =
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+          (Toolkit.Instance.monotonic_clock) results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+        results)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let get_int flag default =
+    let rec go = function
+      | f :: v :: _ when String.equal f flag -> int_of_string v
+      | _ :: rest -> go rest
+      | [] -> default
+    in
+    go args
+  in
+  let max_nodes = get_int "--max-nodes" 2000 and max_edges = get_int "--max-edges" 6000 in
+  let t = H.create ~max_nodes ~max_edges () in
+  if List.mem "--micro" args then run_micro ()
+  else begin
+    let selected = List.filter (fun (flag, _, _) -> List.mem flag args) experiments in
+    let to_run = if selected = [] then experiments else selected in
+    Printf.printf
+      "Hector benchmark harness — simulated RTX 3090, paper-scale costs\n\
+       (physical replicas: <=%d nodes, <=%d edges per dataset; see DESIGN.md)\n\n"
+      max_nodes max_edges;
+    List.iter
+      (fun (_, title, run) ->
+        Printf.printf "==== %s ====\n\n" title;
+        run t;
+        Printf.printf "\n")
+      to_run
+  end

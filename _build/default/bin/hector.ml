@@ -1,0 +1,148 @@
+(* The hector command-line tool.
+
+   Subcommands:
+     hector compile  -m rgat --compact --fusion        show plan + CUDA
+     hector run      -m hgt -d fb15k --training        run on the simulator
+     hector datasets                                   list dataset replicas
+     hector baselines -m rgat -d am                    compare prior systems *)
+
+open Cmdliner
+
+module Compiler = Hector_core.Compiler
+module Plan = Hector_core.Plan
+module Session = Hector_runtime.Session
+module Engine = Hector_gpu.Engine
+module Memory = Hector_gpu.Memory
+module Stats = Hector_gpu.Stats
+module G = Hector_graph.Hetgraph
+module Ds = Hector_graph.Datasets
+module B = Hector_baselines.Baselines
+
+let model_arg =
+  let doc = "Model: rgcn, rgat or hgt." in
+  Arg.(value & opt string "rgat" & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
+
+let dataset_arg =
+  let doc = "Dataset replica (Table 4 name: aifb, mutag, bgs, am, mag, wikikg2, fb15k, biokg)." in
+  Arg.(value & opt string "fb15k" & info [ "d"; "dataset" ] ~docv:"DATASET" ~doc)
+
+let compact_arg =
+  Arg.(value & flag & info [ "compact" ] ~doc:"Enable compact materialization (configuration C).")
+
+let fusion_arg =
+  Arg.(value & flag & info [ "fusion" ] ~doc:"Enable linear-operator fusion (configuration F).")
+
+let training_arg =
+  Arg.(value & flag & info [ "training" ] ~doc:"Compile/measure the training step, not inference.")
+
+let cuda_arg = Arg.(value & flag & info [ "cuda" ] ~doc:"Print the full generated CUDA-like code.")
+
+let max_edges_arg =
+  Arg.(value & opt int 6000 & info [ "max-edges" ] ~docv:"N" ~doc:"Physical edge cap per replica.")
+
+let compile_model model ~training ~compact ~fusion =
+  let program = Hector_models.Model_defs.by_name model () in
+  Compiler.compile ~options:(Compiler.options_of_flags ~training ~compact ~fusion ()) program
+
+let cmd_compile =
+  let run model compact fusion training cuda =
+    let compiled = compile_model model ~training ~compact ~fusion in
+    Format.printf "%a@." Plan.pp compiled.Compiler.forward;
+    (match compiled.Compiler.backward with
+    | Some b ->
+        Format.printf "@.backward plan: %d GEMM, %d traversal steps@." (Plan.gemm_count b)
+          (Plan.traversal_count b)
+    | None -> ());
+    if cuda then
+      print_endline (Hector_core.Codegen.emit_plan compiled.Compiler.forward)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a model and show its plan (and optionally the CUDA).")
+    Term.(const run $ model_arg $ compact_arg $ fusion_arg $ training_arg $ cuda_arg)
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE" ~doc:"Write a Chrome-tracing timeline of the run to FILE.")
+
+let cmd_run =
+  let run model dataset compact fusion training max_edges trace_file =
+    let graph = Ds.load ~max_edges (Ds.find dataset) in
+    let compiled = compile_model model ~training ~compact ~fusion in
+    try
+      let session = Session.create ~seed:7 ~trace:(trace_file <> None) ~graph compiled in
+      (if training then
+         let rng = Hector_tensor.Rng.create 5 in
+         let labels =
+           Array.init graph.G.num_nodes (fun _ ->
+               Hector_tensor.Rng.int rng (Session.output_dim session))
+         in
+         let loss = Session.train_step session ~labels () in
+         Printf.printf "loss: %.4f\n" loss
+       else ignore (Session.forward session));
+      Printf.printf "simulated time (paper scale): %.3f ms\n"
+        (Engine.elapsed_ms (Session.engine session));
+      Printf.printf "peak device memory: %.2f GB\n"
+        (Memory.peak_bytes (Engine.memory (Session.engine session)) /. 1e9);
+      Format.printf "%a@." Stats.pp_breakdown (Engine.stats (Session.engine session));
+      Option.iter
+        (fun file ->
+          let oc = open_out file in
+          output_string oc (Engine.to_chrome_trace (Session.engine session));
+          close_out oc;
+          Printf.printf "trace written to %s\n" file)
+        trace_file
+    with Memory.Out_of_memory { used_gb; requested_gb; capacity_gb } ->
+      Printf.printf "OOM: %.1f GB used + %.1f GB requested > %.1f GB capacity\n" used_gb
+        requested_gb capacity_gb
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a model on a dataset replica on the simulated GPU.")
+    Term.(const run $ model_arg $ dataset_arg $ compact_arg $ fusion_arg $ training_arg
+          $ max_edges_arg $ trace_arg)
+
+let cmd_datasets =
+  let run max_edges =
+    Printf.printf "%-9s %8s %8s %12s %12s %8s\n" "name" "#ntypes" "#etypes" "log.nodes"
+      "log.edges" "scale";
+    List.iter
+      (fun (info : Ds.info) ->
+        let g = Ds.load ~max_edges info in
+        Printf.printf "%-9s %8d %8d %12d %12d %8.0f\n" info.Ds.name info.Ds.num_ntypes
+          info.Ds.num_etypes (G.logical_nodes g) (G.logical_edges g) g.G.scale)
+      Ds.all
+  in
+  Cmd.v (Cmd.info "datasets" ~doc:"List the dataset replicas.") Term.(const run $ max_edges_arg)
+
+let cmd_baselines =
+  let run model dataset training max_edges =
+    let graph = Ds.load ~max_edges (Ds.find dataset) in
+    Printf.printf "%-10s %s\n" "system" "outcome";
+    List.iter
+      (fun system ->
+        Format.printf "%-10s %a@." (B.system_name system) B.pp_outcome
+          (B.run system ~model ~training ~graph))
+      B.all_systems
+  in
+  Cmd.v
+    (Cmd.info "baselines" ~doc:"Run the baseline systems' behavioural models.")
+    Term.(const run $ model_arg $ dataset_arg $ training_arg $ max_edges_arg)
+
+let cmd_autotune =
+  let run model dataset training max_edges =
+    let graph = Ds.load ~max_edges (Ds.find dataset) in
+    let result =
+      Hector_runtime.Autotune.search ~training ~graph (Hector_models.Model_defs.by_name model ())
+    in
+    print_endline "candidates (fastest first):";
+    List.iter
+      (fun c -> Printf.printf "  %s\n" (Hector_runtime.Autotune.describe c))
+      result.Hector_runtime.Autotune.all;
+    Printf.printf "\nbest: %s\n" (Hector_runtime.Autotune.describe result.Hector_runtime.Autotune.best)
+  in
+  Cmd.v
+    (Cmd.info "autotune" ~doc:"Search layouts, optimizations and schedules for a model+dataset.")
+    Term.(const run $ model_arg $ dataset_arg $ training_arg $ max_edges_arg)
+
+let () =
+  let info = Cmd.info "hector" ~version:"1.0" ~doc:"Hector RGNN compiler (GPU-simulated)." in
+  exit (Cmd.eval (Cmd.group info [ cmd_compile; cmd_run; cmd_datasets; cmd_baselines; cmd_autotune ]))

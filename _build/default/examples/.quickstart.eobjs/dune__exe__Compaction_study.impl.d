@@ -1,0 +1,1 @@
+examples/compaction_study.ml: Array Hector_core Hector_gpu Hector_graph Hector_models Hector_runtime List Printf

@@ -1,0 +1,1 @@
+examples/custom_model.ml: Array Format Hector_core Hector_graph Hector_models Hector_runtime Hector_tensor List Printf

@@ -1,0 +1,1 @@
+examples/minibatch_training.mli:

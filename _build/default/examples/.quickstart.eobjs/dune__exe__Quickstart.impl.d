@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hector_core Hector_gpu Hector_graph Hector_models Hector_runtime Hector_tensor List String

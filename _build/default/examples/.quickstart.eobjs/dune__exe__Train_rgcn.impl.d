@@ -1,0 +1,1 @@
+examples/train_rgcn.ml: Array Hector_core Hector_gpu Hector_graph Hector_models Hector_runtime Hector_tensor List Printf

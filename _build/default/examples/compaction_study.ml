@@ -1,0 +1,51 @@
+(* Case study: compact materialization on real dataset shapes (§3.1.3,
+   §4.3–4.4 of the paper).
+
+   Shows, on the am / fb15k / mag replicas:
+   - the compaction ratio (unique (etype, src) pairs per edge),
+   - memory and simulated-time impact of compact materialization on RGAT,
+   - the OOM the vanilla layout hits on mag at paper scale, and how the
+     compact layout avoids it.
+
+   Run with:  dune exec examples/compaction_study.exe *)
+
+module Ds = Hector_graph.Datasets
+module Cm = Hector_graph.Compact_map
+module G = Hector_graph.Hetgraph
+module Compiler = Hector_core.Compiler
+module Session = Hector_runtime.Session
+module Engine = Hector_gpu.Engine
+module Memory = Hector_gpu.Memory
+
+let run_config graph ~compact ~training =
+  let options = Compiler.options_of_flags ~training ~compact ~fusion:false () in
+  let compiled = Compiler.compile ~options (Hector_models.Model_defs.rgat ()) in
+  try
+    let session = Session.create ~seed:5 ~graph compiled in
+    (if training then
+       let labels = Array.init graph.G.num_nodes (fun _ -> 0) in
+       ignore (Session.train_step session ~labels ())
+     else ignore (Session.forward session));
+    let ms = Engine.elapsed_ms (Session.engine session) in
+    let gb = Memory.peak_bytes (Engine.memory (Session.engine session)) /. 1e9 in
+    Printf.sprintf "%8.2f ms  %6.2f GB" ms gb
+  with Memory.Out_of_memory { used_gb; requested_gb; _ } ->
+    Printf.sprintf "OOM (%.1f + %.1f GB requested)" used_gb requested_gb
+
+let () =
+  print_endline "Compact materialization case study (RGAT, simulated RTX 3090, paper scale)\n";
+  List.iter
+    (fun name ->
+      let graph = Ds.load ~max_nodes:1500 ~max_edges:4000 (Ds.find name) in
+      let ratio = Cm.ratio graph (Cm.build graph) in
+      Printf.printf "%s — %d logical edges, compaction ratio %.0f%%\n" name
+        (G.logical_edges graph) (100.0 *. ratio);
+      Printf.printf "  inference  vanilla: %s\n" (run_config graph ~compact:false ~training:false);
+      Printf.printf "  inference  compact: %s\n" (run_config graph ~compact:true ~training:false);
+      Printf.printf "  training   vanilla: %s\n" (run_config graph ~compact:false ~training:true);
+      Printf.printf "  training   compact: %s\n\n" (run_config graph ~compact:true ~training:true))
+    [ "am"; "fb15k"; "mag" ];
+  print_endline
+    "Takeaways (matching §4.3-4.4): the lower the compaction ratio, the more\n\
+     work compaction removes; on mag the vanilla per-edge layout cannot even\n\
+     fit the 24 GB card for training, while the compact layout runs."

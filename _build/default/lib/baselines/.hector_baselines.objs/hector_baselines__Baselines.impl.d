@@ -1,0 +1,1 @@
+lib/baselines/baselines.ml: Format Hector_gpu Hector_graph List Recipe Systems

@@ -1,0 +1,1 @@
+lib/baselines/baselines.mli: Format Hector_gpu Hector_graph

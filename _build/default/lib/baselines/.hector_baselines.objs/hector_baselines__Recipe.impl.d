@@ -1,0 +1,1 @@
+lib/baselines/recipe.ml: Float Hector_gpu Hector_graph Printf

@@ -1,0 +1,1 @@
+lib/baselines/recipe.mli: Hector_gpu Hector_graph

@@ -1,0 +1,1 @@
+lib/baselines/systems.ml: Float Format Hector_gpu Hector_graph List Recipe

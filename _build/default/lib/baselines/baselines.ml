@@ -1,0 +1,74 @@
+module Engine = Hector_gpu.Engine
+module Memory = Hector_gpu.Memory
+module G = Hector_graph.Hetgraph
+
+type system = Dgl | Pyg | Seastar | Graphiler | Hgl
+
+let all_systems = [ Dgl; Pyg; Seastar; Graphiler; Hgl ]
+
+let system_name = function
+  | Dgl -> "DGL"
+  | Pyg -> "PyG"
+  | Seastar -> "Seastar"
+  | Graphiler -> "Graphiler"
+  | Hgl -> "HGL"
+
+type outcome =
+  | Time of {
+      ms : float;
+      peak_gb : float;
+      breakdown : (Hector_gpu.Kernel.category * Hector_gpu.Stats.entry) list;
+    }
+  | Oom
+  | Unsupported of string
+
+let run_recipe ?device ?dispatch_us f ~graph =
+  let engine = Engine.create ?device ~scale:graph.G.scale () in
+  let recipe = Recipe.create ?dispatch_us ~engine ~graph () in
+  try
+    (* every system holds the input features and the output embeddings *)
+    Recipe.alloc recipe ~label:"h" ~bytes:(Recipe.node_tensor_bytes recipe ~dim:64) ();
+    Recipe.alloc recipe ~label:"out" ~bytes:(Recipe.node_tensor_bytes recipe ~dim:64) ();
+    f recipe;
+    Time
+      {
+        ms = Engine.elapsed_ms engine;
+        peak_gb = Memory.peak_bytes (Engine.memory engine) /. 1e9;
+        breakdown = Hector_gpu.Stats.by_category (Engine.stats engine);
+      }
+  with
+  | Memory.Out_of_memory _ -> Oom
+  | Recipe.Unsupported reason -> Unsupported reason
+
+let run ?device system ~model ~training ~graph =
+  match system with
+  | Dgl -> run_recipe ?device ~dispatch_us:7.0 (Systems.dgl ~model ~training) ~graph
+  | Seastar -> run_recipe ?device ~dispatch_us:1.0 (Systems.seastar ~model ~training) ~graph
+  | Graphiler -> run_recipe ?device ~dispatch_us:2.0 (Systems.graphiler ~model ~training) ~graph
+  | Hgl -> run_recipe ?device ~dispatch_us:4.0 (Systems.hgl ~model ~training) ~graph
+  | Pyg -> (
+      (* best public implementation that runs (§4.2) *)
+      let fast = run_recipe ?device ~dispatch_us:7.0 (Systems.pyg_fast ~model ~training) ~graph in
+      let loop = run_recipe ?device ~dispatch_us:7.0 (Systems.pyg_loop ~model ~training) ~graph in
+      match (fast, loop) with
+      | Time a, Time b -> if a.ms <= b.ms then fast else loop
+      | Time _, _ -> fast
+      | _, Time _ -> loop
+      | Oom, _ | _, Oom -> Oom
+      | (Unsupported _ as u), _ -> u)
+
+let best ?device ~model ~training ~graph () =
+  List.fold_left
+    (fun acc system ->
+      match run ?device system ~model ~training ~graph with
+      | Time { ms; _ } -> (
+          match acc with
+          | Some (_, best_ms) when best_ms <= ms -> acc
+          | _ -> Some (system, ms))
+      | Oom | Unsupported _ -> acc)
+    None all_systems
+
+let pp_outcome fmt = function
+  | Time { ms; _ } -> Format.fprintf fmt "%.2f ms" ms
+  | Oom -> Format.fprintf fmt "OOM"
+  | Unsupported _ -> Format.fprintf fmt "n/a"

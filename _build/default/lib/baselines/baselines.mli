@@ -1,0 +1,46 @@
+(** Driver for the baseline systems.
+
+    Runs one epoch of a system's behavioural model on a simulated device
+    and reports the outcome.  Following the paper's methodology (§4.2),
+    systems with multiple public implementations (PyG's [FastRGCNConv] vs
+    [RGCNConv]) report the best variant that runs without OOM. *)
+
+type system = Dgl | Pyg | Seastar | Graphiler | Hgl
+
+val all_systems : system list
+(** Presentation order: DGL, PyG, Seastar, Graphiler, HGL. *)
+
+val system_name : system -> string
+(** Display name. *)
+
+type outcome =
+  | Time of {
+      ms : float;  (** simulated epoch time *)
+      peak_gb : float;
+      breakdown : (Hector_gpu.Kernel.category * Hector_gpu.Stats.entry) list;
+          (** per-category time split (Figure 1 raw material) *)
+    }
+  | Oom  (** intermediates exceeded device memory at paper scale *)
+  | Unsupported of string  (** the system cannot run this model/task *)
+
+val run :
+  ?device:Hector_gpu.Device.t ->
+  system ->
+  model:string ->
+  training:bool ->
+  graph:Hector_graph.Hetgraph.t ->
+  outcome
+(** Simulate one epoch ([model] ∈ {"rgcn", "rgat", "hgt"}). *)
+
+val best :
+  ?device:Hector_gpu.Device.t ->
+  model:string ->
+  training:bool ->
+  graph:Hector_graph.Hetgraph.t ->
+  unit ->
+  (system * float) option
+(** The fastest baseline that completes, with its time — the "best among
+    state-of-the-art systems" Figures 5/Table 6 compare against. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** ["12.34 ms"], ["OOM"] or ["n/a"]. *)

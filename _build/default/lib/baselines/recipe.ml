@@ -1,0 +1,111 @@
+module Engine = Hector_gpu.Engine
+module Kernel = Hector_gpu.Kernel
+module Memory = Hector_gpu.Memory
+module G = Hector_graph.Hetgraph
+
+type t = { engine : Engine.t; graph : G.t; dispatch_us : float }
+
+exception Unsupported of string
+
+let create ?(dispatch_us = 0.0) ~engine ~graph () = { engine; graph; dispatch_us }
+
+let graph t = t.graph
+
+let tile = 16.0
+
+let dispatch t = if t.dispatch_us > 0.0 then Engine.host_sync t.engine ~us:t.dispatch_us ()
+
+let gemm t ~name ~rows ~k ~n ?(gathered = true) ?(atomic_out = false) () =
+  dispatch t;
+  let r = float_of_int rows and kf = float_of_int k and nf = float_of_int n in
+  let flops = 2.0 *. r *. kf *. nf in
+  (* same register-blocked tiling as Hector's executor *)
+  let a = r *. kf *. 4.0 *. Float.max 1.0 (nf /. (2.0 *. tile)) in
+  let b = kf *. nf *. 4.0 *. Float.max 1.0 (r /. (2.0 *. tile)) in
+  let c = r *. nf *. 4.0 in
+  Engine.launch t.engine
+    (Kernel.make ~name ~category:Kernel.Gemm
+       ~grid_blocks:(max 1 (rows * n / 256))
+       ~flops
+       ~bytes_coalesced:(b +. (if gathered then 0.0 else a) +. if atomic_out then 0.0 else c)
+       ~bytes_gathered:(if gathered then a else 0.0)
+       ~bytes_atomic:(if atomic_out then c else 0.0)
+       ())
+
+let host_gap t ~us = Engine.host_sync t.engine ~us ()
+
+let small_gemms t ~name ~count ~rows_each ~k ~n ?(host_gap_us = 10.0) () =
+  let r = float_of_int rows_each and kf = float_of_int k and nf = float_of_int n in
+  let flops = 2.0 *. r *. kf *. nf in
+  let bytes =
+    (r *. kf *. Float.max 1.0 (nf /. (2.0 *. tile)) *. 4.0) +. (kf *. nf *. 4.0)
+    +. (r *. nf *. 4.0)
+  in
+  for _ = 1 to count do
+    host_gap t ~us:host_gap_us;
+    dispatch t;
+    Engine.launch t.engine
+      (Kernel.make ~name ~category:Kernel.Gemm
+         ~grid_blocks:(max 1 (rows_each * n / 256))
+         ~flops ~bytes_coalesced:bytes ())
+  done
+
+(* Unfused framework kernels (one PyTorch op each) reach ~60 % of the
+   effective bandwidth of a fused generated kernel: startup ramp, no
+   producer-consumer locality, strided views. *)
+let unfused_inefficiency = 1.6
+
+let traversal t ~name ~iters ?(flops_per_iter = 0.0) ?(coalesced_per_iter = 0.0)
+    ?(gathered_per_iter = 0.0) ?(atomic_per_iter = 0.0) ?(fused = false) () =
+  dispatch t;
+  let factor = if fused then 1.0 else unfused_inefficiency in
+  let coalesced_per_iter = coalesced_per_iter *. factor in
+  let gathered_per_iter = gathered_per_iter *. factor in
+  let fi = float_of_int iters in
+  Engine.launch t.engine
+    (Kernel.make ~name ~category:Kernel.Traversal
+       ~grid_blocks:(max 1 (iters / 256))
+       ~flops:(flops_per_iter *. fi)
+       ~bytes_coalesced:(coalesced_per_iter *. fi)
+       ~bytes_gathered:(gathered_per_iter *. fi)
+       ~bytes_atomic:(atomic_per_iter *. fi)
+       ())
+
+let copy t ~name ?(category = Kernel.Copy) ~bytes () =
+  dispatch t;
+  Engine.launch t.engine
+    (Kernel.make ~name ~category
+       ~grid_blocks:(max 1 (int_of_float (bytes /. 4.0) / 256 / 4))
+       ~bytes_coalesced:(2.0 *. bytes *. unfused_inefficiency)
+       ())
+
+let alloc t ~label ?(graph_proportional = true) ~bytes () =
+  ignore (Memory.alloc (Engine.memory t.engine) ~graph_proportional ~label bytes)
+
+let training_overhead t =
+  (* loss forward+backward, per-parameter zero_grad + optimizer step,
+     autograd graph construction on the host *)
+  let n = t.graph.G.num_nodes in
+  Engine.host_sync t.engine ~us:120.0 ();
+  for i = 0 to 1 do
+    Engine.launch t.engine
+      (Kernel.make
+         ~name:(Printf.sprintf "loss_%d" i)
+         ~category:Kernel.Reduction
+         ~grid_blocks:(max 1 (n / 256))
+         ~flops:(float_of_int (n * 64 * 5))
+         ~bytes_coalesced:(float_of_int (n * 64 * 8))
+         ())
+  done;
+  for i = 0 to 5 do
+    dispatch t;
+    Engine.launch t.engine
+      (Kernel.make
+         ~name:(Printf.sprintf "optimizer_%d" i)
+         ~category:Kernel.Reduction ~grid_blocks:32 ~bytes_coalesced:64_000.0
+         ~graph_proportional:false ())
+  done
+
+let edge_tensor_bytes t ~dim = float_of_int (t.graph.G.num_edges * dim * 4)
+
+let node_tensor_bytes t ~dim = float_of_int (t.graph.G.num_nodes * dim * 4)

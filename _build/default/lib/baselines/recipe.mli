@@ -1,0 +1,73 @@
+(** Kernel-issuance helpers shared by the baseline behavioural models.
+
+    Baselines are {e cost models}: they charge the simulated device with
+    the kernel launches, host-dispatch gaps and memory allocations their
+    real counterparts perform (per the papers and the descriptions in §2,
+    §4.2 and Table 2 of the Hector paper), without recomputing tensor
+    values — Hector's own runtime already verifies numerics against the
+    reference models.  The cost formulas mirror the ones Hector's runtime
+    uses so comparisons are apples-to-apples. *)
+
+type t
+(** A recipe bound to an engine and a graph. *)
+
+val create :
+  ?dispatch_us:float -> engine:Hector_gpu.Engine.t -> graph:Hector_graph.Hetgraph.t -> unit -> t
+(** [dispatch_us] is the host-side framework dispatch cost charged before
+    every kernel (eager PyTorch ≈ 7 µs, TorchScript ≈ 2 µs, compiled
+    kernels ≈ 1 µs).  Default 0. *)
+
+val graph : t -> Hector_graph.Hetgraph.t
+(** The bound graph. *)
+
+exception Unsupported of string
+(** Raised when a system does not implement a model/task combination. *)
+
+val gemm :
+  t -> name:string -> rows:int -> k:int -> n:int -> ?gathered:bool -> ?atomic_out:bool -> unit -> unit
+(** One fused (segment-)GEMM launch over [rows] row-vectors, same roofline
+    as Hector's GEMM template with tile 16. *)
+
+val small_gemms :
+  t -> name:string -> count:int -> rows_each:int -> k:int -> n:int -> ?host_gap_us:float -> unit -> unit
+(** [count] separate small GEMM launches of [rows_each] rows (a Python
+    per-relation loop), each preceded by a host dispatch gap — the
+    DGL-HeteroConv / PyG-RGCNConv pathology. *)
+
+val traversal :
+  t ->
+  name:string ->
+  iters:int ->
+  ?flops_per_iter:float ->
+  ?coalesced_per_iter:float ->
+  ?gathered_per_iter:float ->
+  ?atomic_per_iter:float ->
+  ?fused:bool ->
+  unit ->
+  unit
+(** An elementwise/message kernel over [iters] units.  Unless
+    [fused:true], traffic is inflated by the unfused-framework
+    inefficiency factor (single-op kernels reach ~60 % of a fused
+    generated kernel's effective bandwidth). *)
+
+val training_overhead : t -> unit
+(** Per-epoch training machinery every framework pays: loss kernels,
+    gradient zeroing, optimizer steps, autograd-graph host bookkeeping. *)
+
+val copy : t -> name:string -> ?category:Hector_gpu.Kernel.category -> bytes:float -> unit -> unit
+(** A materialization copy (gather/scatter/indexing data movement),
+    category [Copy] by default, [Index] for index construction. *)
+
+val alloc : t -> label:string -> ?graph_proportional:bool -> bytes:float -> unit -> unit
+(** Charge a persistent intermediate allocation (raises
+    [Hector_gpu.Memory.Out_of_memory] at logical scale). *)
+
+val host_gap : t -> us:float -> unit
+(** Python/framework dispatch time between kernels. *)
+
+val edge_tensor_bytes : t -> dim:int -> float
+(** Bytes of one per-edge fp32 tensor of width [dim] (physical size; the
+    allocator applies the logical scale). *)
+
+val node_tensor_bytes : t -> dim:int -> float
+(** Bytes of one per-node fp32 tensor. *)

@@ -1,0 +1,1 @@
+lib/core/autodiff.ml: Check Format Hashtbl Inter_ir List Loop_transform String

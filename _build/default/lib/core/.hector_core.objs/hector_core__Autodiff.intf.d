@@ -1,0 +1,1 @@
+lib/core/autodiff.mli: Inter_ir

@@ -1,0 +1,1 @@
+lib/core/check.ml: Format Inter_ir List Printf Result String

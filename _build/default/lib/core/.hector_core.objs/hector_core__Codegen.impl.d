@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Buffer Format Gemm_spec Inter_ir Layout Linear_fusion List Materialization Option Plan Printf String Traversal_spec

@@ -1,0 +1,1 @@
+lib/core/codegen.mli: Gemm_spec Inter_ir Layout Materialization Plan Traversal_spec

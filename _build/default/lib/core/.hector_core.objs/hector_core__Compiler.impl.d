@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Autodiff Check Gemm_spec Inter_ir Layout Linear_fusion List Logs Loop_transform Lowering Option Plan Printf Traversal_spec

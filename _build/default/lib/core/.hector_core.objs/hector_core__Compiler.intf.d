@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Gemm_spec Inter_ir Layout Linear_fusion Plan Traversal_spec

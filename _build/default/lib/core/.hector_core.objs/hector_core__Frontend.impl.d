@@ -1,0 +1,1 @@
+lib/core/frontend.ml: Check Inter_ir List Loop_transform String

@@ -1,0 +1,1 @@
+lib/core/gemm_spec.ml: Format Inter_ir List Materialization Printf

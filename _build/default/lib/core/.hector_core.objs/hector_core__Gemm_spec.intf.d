@@ -1,0 +1,1 @@
+lib/core/gemm_spec.mli: Format Inter_ir Materialization

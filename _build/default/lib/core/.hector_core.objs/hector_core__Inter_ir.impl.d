@@ -1,0 +1,1 @@
+lib/core/inter_ir.ml: Format List String

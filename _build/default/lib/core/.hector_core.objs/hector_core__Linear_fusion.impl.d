@@ -1,0 +1,1 @@
+lib/core/linear_fusion.ml: Hashtbl Inter_ir List Printf String

@@ -1,0 +1,1 @@
+lib/core/linear_fusion.mli: Inter_ir

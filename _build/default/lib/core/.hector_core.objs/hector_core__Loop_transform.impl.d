@@ -1,0 +1,1 @@
+lib/core/loop_transform.ml: Inter_ir List

@@ -1,0 +1,1 @@
+lib/core/lowering.ml: Check Gemm_spec Inter_ir List Loop_transform Materialization Option Plan Printf String Traversal_spec

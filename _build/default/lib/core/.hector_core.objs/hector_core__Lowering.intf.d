@@ -1,0 +1,1 @@
+lib/core/lowering.mli: Gemm_spec Inter_ir Layout Linear_fusion Materialization Plan Traversal_spec

@@ -1,0 +1,1 @@
+lib/core/materialization.ml: Inter_ir Layout List Option Printf

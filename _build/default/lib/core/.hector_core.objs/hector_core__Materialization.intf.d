@@ -1,0 +1,1 @@
+lib/core/materialization.mli: Inter_ir Layout

@@ -1,0 +1,1 @@
+lib/core/plan.ml: Format Gemm_spec Inter_ir Layout Linear_fusion List Materialization Printf String Traversal_spec

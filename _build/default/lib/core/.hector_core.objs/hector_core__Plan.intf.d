@@ -1,0 +1,1 @@
+lib/core/plan.mli: Format Gemm_spec Inter_ir Layout Linear_fusion Materialization Traversal_spec

@@ -1,0 +1,1 @@
+lib/core/traversal_spec.ml: Format Inter_ir List Printf String

@@ -1,0 +1,1 @@
+lib/core/traversal_spec.mli: Format Inter_ir

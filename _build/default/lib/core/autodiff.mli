@@ -1,0 +1,41 @@
+(** Backward-pass generation (paper §3.5).
+
+    Like the paper, Hector keeps a table mapping operators to their
+    gradient rules and emits the backward propagation {e as inter-operator
+    IR}, which then flows through the same lowering pipeline as the forward
+    pass.  Generated gradient variables are named ["d:<primal>"]; output
+    gradients arrive as declared node inputs (the loss backward produces
+    them); weight gradients are expressed with {!Inter_ir.stmt.Grad_weight}
+    statements, which lowering turns into transposed segment-MMs where
+    possible.
+
+    Forward loops are processed in reverse; inside one forward loop the
+    statement order is reversed too.  Where a gradient statement reads a
+    node gradient that earlier statements of the same (fused) forward loop
+    scatter-accumulate, the backward loop is split — the backward pass
+    mirrors the forward kernel boundaries as far as legal and splits host
+    functions otherwise, as §3.5 describes. *)
+
+exception Unsupported of string
+(** Raised for operators without a gradient rule ([Opaque], [Slice] in
+    forward code) or programs that re-assign a variable. *)
+
+type result = {
+  program : Inter_ir.program;
+      (** the backward program: declarations = forward declarations +
+          ["d:<output>"] node inputs; outputs empty *)
+  reads_forward : Inter_ir.var list;
+      (** forward-produced variables the backward body re-reads — the
+          caller must keep these materialized in the forward plan *)
+}
+
+val backward : Inter_ir.program -> result
+(** Generate the backward program of a checked forward program.  The
+    forward program must assign each variable at most once (the model
+    builders satisfy this). *)
+
+val grad_name : string -> string
+(** ["d:" ^ name]. *)
+
+val is_grad_name : string -> bool
+(** Recognize generated gradient variable names. *)

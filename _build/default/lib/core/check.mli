@@ -1,0 +1,32 @@
+(** Validation and shape inference for inter-operator IR programs.
+
+    Runs before any transform: verifies that entities are used in valid
+    loop contexts (e.g. [e.src] only where an edge is in scope), that reads
+    refer to declared inputs/weights or previously produced data, that
+    weight slicing matches the context, and infers the shape of every
+    produced variable.  The compiler refuses programs that do not check. *)
+
+(** Value shapes: scalars or feature vectors of known width.  Declared
+    inputs of dimension 1 read as scalars. *)
+type shape = Sc | Vec of int
+
+type var_info = {
+  scope : [ `Node | `Edge ];
+  name : string;
+  shape : shape;
+  accumulated : bool;  (** defined (also) through [+=] — needs zero-init *)
+}
+
+val check : Inter_ir.program -> (var_info list, string) result
+(** Validate a program.  On success, returns info for every produced
+    variable in first-definition order; on failure, a human-readable
+    description of the first error. *)
+
+val check_exn : Inter_ir.program -> var_info list
+(** Like {!check} but raises [Invalid_argument]. *)
+
+val shape_dim : shape -> int
+(** Width of a shape (scalars are 1). *)
+
+val pp_shape : Format.formatter -> shape -> unit
+(** ["scalar"] or ["vec<n>"]. *)

@@ -1,0 +1,51 @@
+(** The Hector compilation pipeline (paper Figure 3).
+
+    [compile] takes an inter-operator IR program (what the [@hector.compile]
+    frontend produces from DGL/PyG-style code) through:
+
+    + validation and shape inference ({!Check});
+    + graph-semantic-aware loop canonicalization ({!Loop_transform});
+    + optional linear-operator fusion ({!Linear_fusion});
+    + compact-materialization analysis ({!Materialization}, per the layout);
+    + backward-program generation for training ({!Autodiff});
+    + greedy 3-scan lowering to GEMM/traversal/fallback instances
+      ({!Lowering}).
+
+    The result packages the forward (and optionally backward) plans, ready
+    for the runtime or for CUDA-like source rendering by {!Codegen}. *)
+
+type options = {
+  layout : Layout.t;
+  linear_fusion : bool;  (** apply §3.4.1 (configuration "F") *)
+  training : bool;  (** also generate the backward plan *)
+  gemm_schedule : Gemm_spec.schedule;
+  traversal_schedule : Traversal_spec.schedule;
+  prefer_node_gather : bool;
+      (** schedule pure destination-accumulation loops as node-centric
+          gathers instead of edge-parallel atomics (the other side of the
+          §3.3.3 trade-off; used by the schedule ablation) *)
+}
+
+val default_options : options
+(** Vanilla layout, no linear fusion, inference only, template-default
+    schedules — the paper's "unoptimized Hector". *)
+
+val options_of_flags : ?training:bool -> compact:bool -> fusion:bool -> unit -> options
+(** The four evaluation configurations of Table 5: [~compact:false
+    ~fusion:false] = U, [true/false] = C, [false/true] = F, [true/true] =
+    C+F. *)
+
+type compiled = {
+  options : options;
+  forward : Plan.t;
+  backward : Plan.t option;  (** present iff [options.training] *)
+  fusion_rewrites : int;  (** linear-fusion pattern applications *)
+  weight_ops : Linear_fusion.weight_op list;
+      (** prologue weight products (the runtime also uses them to
+          back-propagate into the original weights) *)
+}
+
+val compile : ?options:options -> Inter_ir.program -> compiled
+(** Compile a model program.  Raises [Invalid_argument] on programs that do
+    not check and {!Autodiff.Unsupported} for untrainable constructs when
+    [training] is set. *)

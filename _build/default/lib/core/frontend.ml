@@ -1,0 +1,115 @@
+open Inter_ir
+
+type m = { mutable stmts : stmt list (* reversed *) }
+
+type e = unit
+
+type n = unit
+
+type ex = expr
+
+(* --- declarations --- *)
+
+let node_feature name dim = Node_input { name; dim }
+let edge_feature name dim = Edge_input { name; dim }
+let etype_matrix name rows cols = Weight_mat { name; slice = By_etype; rows; cols }
+let etype_vector name dim = Weight_vec { name; slice = By_etype; dim }
+let ntype_matrix name rows cols = Weight_mat { name; slice = By_ntype; rows; cols }
+let shared_matrix name rows cols = Weight_mat { name; slice = Shared; rows; cols }
+
+(* --- accessors --- *)
+
+let src_h () name = Feature (Src, name)
+let dst_h () name = Feature (Dst, name)
+let src_v () name = Data (Src, name)
+let dst_v () name = Data (Dst, name)
+let edge_v () name = Data (Cur_edge, name)
+let edge_h () name = Feature (Cur_edge, name)
+let etype_param () name = Weight (name, By_etype)
+let src_ntype_param () name = Weight (name, By_src_ntype)
+let node_h () name = Feature (Cur_node, name)
+let node_v () name = Data (Cur_node, name)
+let ntype_param () name = Weight (name, By_ntype)
+let shared_param name = Weight (name, Shared)
+
+(* --- operators ---
+
+   [typed_linear] leaves a placeholder slice; [model] rewrites every weight
+   reference to the slicing recorded in its declaration, which is what the
+   decorator's transpiling pass does when it sees a typed-linear module
+   applied inside a loop. *)
+
+let typed_linear x name = Linear (x, Weight (name, By_etype))
+let inner a b = Inner (a, b)
+let concat a b = Concat (a, b)
+let ( *@ ) a b = Binop (Mul, a, b)
+let ( +@ ) a b = Binop (Add, a, b)
+let ( -@ ) a b = Binop (Sub, a, b)
+let ( /@ ) a b = Binop (Div, a, b)
+let const c = Const c
+let relu x = Unop (Relu, x)
+let leaky_relu x = Unop (Leaky_relu, x)
+let exp_ x = Unop (Exp, x)
+
+(* --- statements --- *)
+
+let push m s = m.stmts <- s :: m.stmts
+
+let apply_edges m name f = push m (For_each (Edges, [ Assign (Cur_edge, name, f ()) ]))
+
+let apply_nodes m name f = push m (For_each (Nodes, [ Assign (Cur_node, name, f ()) ]))
+
+let update_all m ~out f =
+  push m
+    (For_each (Nodes, [ For_each (Incoming, [ Accumulate (Cur_node, out, f ()) ]) ]))
+
+let edge_softmax m ~src ~out =
+  let sum = src ^ "_sum" in
+  push m (For_each (Edges, [ Assign (Cur_edge, src ^ "_exp", Unop (Exp, Data (Cur_edge, src))) ]));
+  push m
+    (For_each
+       ( Nodes,
+         [ For_each (Incoming, [ Accumulate (Cur_node, sum, Data (Cur_edge, src ^ "_exp")) ]) ]
+       ));
+  push m
+    (For_each
+       (Edges, [ Assign (Cur_edge, out, Binop (Div, Data (Cur_edge, src ^ "_exp"), Data (Dst, sum))) ]))
+
+(* --- entry point --- *)
+
+let model name ~params ~inputs ?(outputs = [ "out" ]) build =
+  let m = { stmts = [] } in
+  build m;
+  let decls = inputs @ params in
+  let slice_of w =
+    match List.find_opt (fun d -> String.equal (decl_name d) w) decls with
+    | Some (Weight_mat { slice; _ }) | Some (Weight_vec { slice; _ }) -> Some slice
+    | _ -> None
+  in
+  let program =
+    {
+      name;
+      decls;
+      body = List.rev m.stmts;
+      outputs;
+    }
+  in
+  (* resolve weight slicing from the declarations *)
+  let program =
+    map_program_exprs
+      (fun e ->
+        match e with
+        | Weight (w, placeholder) -> (
+            match slice_of w with
+            | Some slice when slice <> placeholder -> (
+                (* node-typed weights used edge-wise keep the explicit
+                   endpoint slicing the accessor chose *)
+                match (slice, placeholder) with
+                | By_ntype, (By_src_ntype | By_dst_ntype) -> e
+                | _ -> Weight (w, slice))
+            | _ -> e)
+        | other -> other)
+      program
+  in
+  ignore (Check.check_exn (Loop_transform.canonicalize program));
+  program

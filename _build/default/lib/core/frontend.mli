@@ -1,0 +1,166 @@
+(** The DGL/PyG-style programming frontend (paper §3.1.4, Figure 3).
+
+    The real Hector ships a [@hector.compile] decorator that transpiles
+    DGL/PyG forward functions — [apply_edges], [update_all],
+    [edge_softmax], typed linear calls — into the inter-operator IR.  This
+    module is the OCaml analogue: a small builder DSL whose combinators
+    mirror those framework calls, producing an {!Inter_ir.program} ready
+    for {!Compiler.compile}.
+
+    {[
+      let rgat =
+        Frontend.(
+          model "rgat"
+            ~params:[ etype_matrix "W" 64 64; etype_vector "att" 128 ]
+            ~inputs:[ node_feature "h" 64 ]
+            (fun m ->
+              apply_edges m "zi" (fun e -> typed_linear (src_h e "h") "W");
+              apply_edges m "zj" (fun e -> typed_linear (dst_h e "h") "W");
+              apply_edges m "attn_pre" (fun e ->
+                  leaky_relu (inner (etype_param e "att") (concat (edge_v e "zi") (edge_v e "zj"))));
+              edge_softmax m ~src:"attn_pre" ~out:"attn";
+              update_all m ~out:"out" (fun e -> edge_v e "zi" *@ edge_v e "attn")))
+      ]}
+
+    Everything the builder emits passes the {!Check} validator; invalid
+    combinator use fails there with a source-level message. *)
+
+type m
+(** A model under construction. *)
+
+type e
+(** Edge-scope token: witnesses that an expression is being built inside an
+    [apply_edges]/[update_all] message function. *)
+
+type n
+(** Node-scope token for [apply_nodes]. *)
+
+type ex = Inter_ir.expr
+(** Expressions are plain IR expressions; the tokens only scope the
+    accessors. *)
+
+(** {1 Declarations} *)
+
+val node_feature : string -> int -> Inter_ir.decl
+(** An input node feature of the given width. *)
+
+val edge_feature : string -> int -> Inter_ir.decl
+(** A precomputed per-edge input (width 1 reads as a scalar). *)
+
+val etype_matrix : string -> int -> int -> Inter_ir.decl
+(** A per-edge-type weight matrix stack. *)
+
+val etype_vector : string -> int -> Inter_ir.decl
+(** A per-edge-type weight vector stack. *)
+
+val ntype_matrix : string -> int -> int -> Inter_ir.decl
+(** A per-node-type weight matrix stack. *)
+
+val shared_matrix : string -> int -> int -> Inter_ir.decl
+(** An untyped (shared) weight matrix. *)
+
+(** {1 Edge-scope accessors} *)
+
+val src_h : e -> string -> ex
+(** The source node's input feature. *)
+
+val dst_h : e -> string -> ex
+(** The destination node's input feature. *)
+
+val src_v : e -> string -> ex
+(** Produced node data read at the source. *)
+
+val dst_v : e -> string -> ex
+(** Produced node data read at the destination. *)
+
+val edge_v : e -> string -> ex
+(** Produced edge data of the current edge. *)
+
+val edge_h : e -> string -> ex
+(** A per-edge input feature. *)
+
+val etype_param : e -> string -> ex
+(** The weight slice of the current edge's type, [W\[e.etype\]]. *)
+
+val src_ntype_param : e -> string -> ex
+(** The weight slice of the source node's type, [W\[τ(e.src)\]]. *)
+
+(** {1 Node-scope accessors} *)
+
+val node_h : n -> string -> ex
+(** The node's input feature. *)
+
+val node_v : n -> string -> ex
+(** Produced node data. *)
+
+val ntype_param : n -> string -> ex
+(** The weight slice of the node's type. *)
+
+val shared_param : string -> ex
+(** An untyped weight. *)
+
+(** {1 Operators} *)
+
+val typed_linear : ex -> string -> ex
+(** [typed_linear x "W"] multiplies a row vector by the current typed
+    slice of ["W"] — usable in both scopes (the slicing follows the weight
+    declaration). *)
+
+val inner : ex -> ex -> ex
+(** Vector inner product. *)
+
+val concat : ex -> ex -> ex
+(** Feature concatenation. *)
+
+val ( *@ ) : ex -> ex -> ex
+(** Pointwise multiply (scalars broadcast over vectors). *)
+
+val ( +@ ) : ex -> ex -> ex
+(** Pointwise add. *)
+
+val ( -@ ) : ex -> ex -> ex
+(** Pointwise subtract. *)
+
+val ( /@ ) : ex -> ex -> ex
+(** Pointwise divide. *)
+
+val const : float -> ex
+(** A scalar constant. *)
+
+val relu : ex -> ex
+(** Rectified linear unit. *)
+
+val leaky_relu : ex -> ex
+(** Leaky ReLU (slope 0.01). *)
+
+val exp_ : ex -> ex
+(** Pointwise exponential. *)
+
+(** {1 Statements} *)
+
+val apply_edges : m -> string -> (e -> ex) -> unit
+(** DGL's [g.apply_edges]: compute per-edge data. *)
+
+val apply_nodes : m -> string -> (n -> ex) -> unit
+(** Per-node computation. *)
+
+val update_all : m -> out:string -> (e -> ex) -> unit
+(** DGL's [g.update_all(message, sum)]: per-edge message accumulated into
+    the destination nodes. *)
+
+val edge_softmax : m -> src:string -> out:string -> unit
+(** DGL's [edge_softmax]: normalize a per-edge score over each
+    destination's incoming edges. *)
+
+(** {1 Entry point} *)
+
+val model :
+  string ->
+  params:Inter_ir.decl list ->
+  inputs:Inter_ir.decl list ->
+  ?outputs:string list ->
+  (m -> unit) ->
+  Inter_ir.program
+(** Build and validate a program.  [outputs] defaults to [\["out"\]].
+    Raises [Invalid_argument] (from the checker) when the combinators were
+    misused. *)

@@ -1,0 +1,48 @@
+(** Linear-operator fusion (paper §3.4.1).
+
+    When a linear operator is followed by another linear operator, their
+    order may be switched; the pass switches orders whenever this produces
+    an operator {e between weights}, which is graph-size independent and
+    computed once as a prologue (the paper uses PyTorch [bmm()] for these
+    rewritten products).
+
+    Two rewrite patterns cover the models of the evaluation:
+
+    {ul
+    {- {b attention-vector push-down} (RGAT's [a_RGAT]):
+       [inner(att\[r\], concat(x·W\[r\], y·W\[r\]))] becomes
+       [inner(x, UL\[r\]) + inner(y, UR\[r\])] with prologue
+       [UL\[r\] = W\[r\] · att\[r\]⟨left half⟩] (resp. right).  The per-edge
+       GEMMs feeding only the attention disappear.}
+    {- {b chained typed linear collapse} (HGT's [K_τ(s)·s then ·W_a,r]):
+       an edge-wise [linear(e.src\["k"\], Wa\[r\])] where [k] is a
+       node-wise [linear(feature, K\[τ(n)\])] becomes a single edge-wise
+       [linear(e.src.feature, KW\[r\])] with prologue
+       [KW\[r\] = K\[src_ntype(r)\] · Wa\[r\]] — legal because the
+       metagraph fixes the endpoint type of each relation.}}
+
+    Intermediates left without uses are removed (with their defining
+    statements), which is where the memory saving comes from. *)
+
+(** Weight-by-weight prologue computations introduced by the pass,
+    evaluated once per run by a small batched MM. *)
+type weight_op =
+  | Mat_vec of { mat : string; vec : string; half : [ `Left | `Right | `All ]; out : string }
+      (** [out\[r\] = mat\[r\] · vec\[r\]⟨half⟩] — a per-relation vector *)
+  | Mat_mat of { left : string; left_slice : Inter_ir.wslice; right : string; out : string }
+      (** [out\[r\] = left\[endpoint-ntype(r)\] · right\[r\]] — a
+          per-relation matrix; [left_slice] says which endpoint. *)
+
+type result = {
+  program : Inter_ir.program;  (** rewritten program (with new weight decls) *)
+  weight_ops : weight_op list;  (** prologue products, in evaluation order *)
+  rewrites : int;  (** number of pattern applications (0 = nothing fused) *)
+}
+
+val run : Inter_ir.program -> result
+(** Apply both rewrites to fixpoint, then eliminate dead intermediates. *)
+
+val eliminate_dead : Inter_ir.program -> Inter_ir.program
+(** Remove [Assign]-defined variables that are never read and are not
+    outputs, together with emptied loops.  Exposed for testing and reused
+    by other passes. *)

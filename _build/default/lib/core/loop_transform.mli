@@ -1,0 +1,44 @@
+(** Graph-semantic-aware loop transforms (paper §3.3.3, §3.4.2).
+
+    The key equivalence the paper adds to generic loop transforms: a
+    [foreach] loop over all edges is equivalent to a loop nest iterating the
+    incoming (or outgoing) edges of every destination (source) node.  The
+    edge form maximizes parallelism (one thread per edge, atomic node
+    updates); the node-nest form trades parallelism for data reuse and
+    atomic-free accumulation.
+
+    [canonicalize] is applied during lowering (§3.4.3): it rewrites
+    node/neighbor nests into edge loops, drops redundant zero
+    initializations, and fuses adjacent fusable loops so that kernel-fusion
+    opportunities are exposed to the 3-scan lowering. *)
+
+val subst_entity_stmt :
+  from:Inter_ir.entity -> to_:Inter_ir.entity -> Inter_ir.stmt -> Inter_ir.stmt
+(** Rewrite every reference to one entity into another (e.g. [Cur_node] →
+    [Dst] when flattening an incoming-edges nest into an edge loop). *)
+
+val edgeify : Inter_ir.program -> Inter_ir.program
+(** Rewrite every [Nodes]/[Incoming] (or [Outgoing]) nest into edge loops:
+    [n\["x"\] += f(e)] under incoming iteration becomes
+    [e.dst\["x"\] += f(e)] in a plain edge loop.  Statements outside the
+    neighbor loops stay in (split) node loops, preserving order. *)
+
+val nodeify : Inter_ir.program -> Inter_ir.program
+(** Inverse transform where legal: an edge loop whose statements all
+    accumulate into destination-node data becomes a [Nodes] loop with an
+    [Incoming] nest (atomic-free).  Loops with per-edge writes are left
+    unchanged. *)
+
+val drop_dead_zero_init : Inter_ir.program -> Inter_ir.program
+(** Remove [x = 0.0] statements for variables that are also accumulated —
+    accumulated variables are zero-initialized by the runtime, so the
+    explicit loop would cost a kernel for nothing. *)
+
+val fuse_adjacent : Inter_ir.program -> Inter_ir.program
+(** Fuse consecutive top-level loops of the same kind when no statement of
+    the second reads data that the first produces through an (atomic)
+    scatter accumulation — the cross-iteration dependency that forbids
+    fusion (e.g. edge softmax's normalization read of [attn_sum]). *)
+
+val canonicalize : Inter_ir.program -> Inter_ir.program
+(** [fuse_adjacent ∘ drop_dead_zero_init ∘ edgeify]. *)

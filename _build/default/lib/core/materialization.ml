@@ -1,0 +1,72 @@
+open Inter_ir
+
+type space = Rows_nodes | Rows_edges | Rows_compact_src | Rows_compact_dst
+
+let space_name = function
+  | Rows_nodes -> "node"
+  | Rows_edges -> "edge"
+  | Rows_compact_src -> "compact-src"
+  | Rows_compact_dst -> "compact-dst"
+
+(* Dependency classes of an edge-scope expression. *)
+type dep = { src : bool; dst : bool; edge : bool }
+
+let no_dep = { src = false; dst = false; edge = false }
+let join a b = { src = a.src || b.src; dst = a.dst || b.dst; edge = a.edge || b.edge }
+
+(* Compute endpoint dependencies of the defining expression, consulting the
+   spaces already assigned to previously-defined edge variables. *)
+let rec deps assigned expr =
+  match expr with
+  | Const _ -> no_dep
+  | Feature (Src, _) | Data (Src, _) -> { no_dep with src = true }
+  | Feature (Dst, _) | Data (Dst, _) -> { no_dep with dst = true }
+  | Feature (Cur_edge, _) -> { no_dep with edge = true }
+  | Data (Cur_edge, name) -> (
+      match List.assoc_opt (`Edge, name) assigned with
+      | Some Rows_compact_src -> { no_dep with src = true }
+      | Some Rows_compact_dst -> { no_dep with dst = true }
+      | _ -> { no_dep with edge = true })
+  | Feature (Cur_node, _) | Data (Cur_node, _) -> { no_dep with edge = true }
+  | Weight (_, (By_etype | By_src_ntype | By_dst_ntype | Shared)) -> no_dep
+  | Weight (_, By_ntype) -> { no_dep with edge = true }
+  | Linear (a, b) | Linear_t (a, b) | Inner (a, b) | Concat (a, b) | Binop (_, a, b) ->
+      join (deps assigned a) (deps assigned b)
+  | Unop (_, a) | Slice (a, _, _) -> deps assigned a
+  | Opaque (_, args) -> List.fold_left (fun acc a -> join acc (deps assigned a)) no_dep args
+
+let spaces ?(inherit_from = []) (layout : Layout.t) p =
+  let assigned = ref [] in
+  let assign v space =
+    if not (List.mem_assoc v !assigned) then
+      let space = Option.value (List.assoc_opt v inherit_from) ~default:space in
+      assigned := !assigned @ [ (v, space) ]
+  in
+  let compactable = layout.Layout.materialization = Layout.Compact in
+  let rec walk in_edge_assign stmt =
+    match stmt with
+    | Assign (Cur_edge, name, e) when in_edge_assign ->
+        let space =
+          if not compactable then Rows_edges
+          else
+            let d = deps !assigned e in
+            if d.src && (not d.dst) && not d.edge then Rows_compact_src
+            else if d.dst && (not d.src) && not d.edge then Rows_compact_dst
+            else Rows_edges
+        in
+        assign (`Edge, name) space
+    | Assign (ent, name, _) | Accumulate (ent, name, _) -> (
+        match Inter_ir.scope_of_target ent with
+        | `Node -> assign (`Node, name) Rows_nodes
+        | `Edge -> assign (`Edge, name) Rows_edges)
+    | Grad_weight _ -> ()
+    | For_each (Edges, body) -> List.iter (walk true) body
+    | For_each (_, body) -> List.iter (walk false) body
+  in
+  List.iter (walk false) p.body;
+  !assigned
+
+let space_of table v =
+  match List.assoc_opt v table with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Materialization.space_of: unknown variable %S" (snd v))

@@ -1,0 +1,36 @@
+(** Tensor materialization and compaction analysis (paper §3.1.3).
+
+    Decides, per produced variable, which row space its materialized tensor
+    uses.  Node data always gets one row per node.  Edge data gets one row
+    per edge under vanilla materialization; under compact materialization,
+    an edge variable whose defining expression depends only on the source
+    endpoint and the edge type is stored per unique [(etype, src)] pair
+    (and symmetrically for destination-only variables), eliminating the
+    common subexpressions across parallel edges. *)
+
+(** Row space of a materialized tensor. *)
+type space =
+  | Rows_nodes  (** one row per node *)
+  | Rows_edges  (** one row per edge (vanilla) *)
+  | Rows_compact_src  (** one row per unique (etype, src) pair *)
+  | Rows_compact_dst  (** one row per unique (etype, dst) pair *)
+
+val space_name : space -> string
+(** Short label: ["node"], ["edge"], ["compact-src"], ["compact-dst"]. *)
+
+val spaces :
+  ?inherit_from:(Inter_ir.var * space) list ->
+  Layout.t ->
+  Inter_ir.program ->
+  (Inter_ir.var * space) list
+(** Assign a space to every produced variable.  With
+    [layout.materialization = Vanilla], edge variables all map to
+    [Rows_edges]; with [Compact], source-only (destination-only) edge
+    variables map to the compact spaces.  Compactability propagates through
+    edge-data reads: a variable computed from a compact-src variable and
+    per-etype weights is itself compact-src.  [inherit_from] pins spaces
+    decided elsewhere — backward programs pin each gradient to its primal's
+    space. *)
+
+val space_of : (Inter_ir.var * space) list -> Inter_ir.var -> space
+(** Lookup; raises [Invalid_argument] for unknown variables. *)

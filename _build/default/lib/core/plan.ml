@@ -1,0 +1,94 @@
+type buffer = {
+  name : string;
+  scope : [ `Node | `Edge ];
+  space : Materialization.space;
+  dim : int;
+  zero_init : bool;
+  temp : bool;
+}
+
+type fallback = {
+  kid : int;
+  description : string;
+  strategy : Traversal_spec.strategy;
+  body : Inter_ir.stmt list;
+}
+
+type step =
+  | Weight_op of Linear_fusion.weight_op
+  | Gemm of Gemm_spec.t
+  | Traversal of Traversal_spec.t
+  | Fallback of fallback
+
+type t = {
+  name : string;
+  layout : Layout.t;
+  program : Inter_ir.program;
+  buffers : buffer list;
+  steps : step list;
+  spaces : (Inter_ir.var * Materialization.space) list;
+}
+
+let step_name = function
+  | Weight_op (Linear_fusion.Mat_vec { out; _ }) | Weight_op (Linear_fusion.Mat_mat { out; _ }) ->
+      Printf.sprintf "weight_op_%s" out
+  | Gemm g -> Gemm_spec.name g
+  | Traversal t -> Traversal_spec.name t
+  | Fallback f -> Printf.sprintf "fallback_%d" f.kid
+
+let gemm_count t =
+  List.length (List.filter (function Gemm _ -> true | _ -> false) t.steps)
+
+let traversal_count t =
+  List.length (List.filter (function Traversal _ -> true | _ -> false) t.steps)
+
+let fallback_count t =
+  List.length (List.filter (function Fallback _ -> true | _ -> false) t.steps)
+
+let find_buffer t name = List.find_opt (fun (b : buffer) -> String.equal b.name name) t.buffers
+
+let preprocessing t =
+  let needs = ref [] in
+  let add s = if not (List.mem s !needs) then needs := s :: !needs in
+  (match t.layout.Layout.adjacency with
+  | Layout.Coo -> add "COO edge arrays (src, dst, etype), sorted by edge type"
+  | Layout.Csr -> add "convert COO to CSR (row pointers + column indices)");
+  if t.layout.Layout.nodes_presorted then add "presort nodes by node type (segment-MM)";
+  List.iter
+    (fun (_, space) ->
+      match space with
+      | Materialization.Rows_compact_src -> add "precompute (etype, src) compact row mapping"
+      | Materialization.Rows_compact_dst -> add "precompute (etype, dst) compact row mapping"
+      | Materialization.Rows_nodes | Materialization.Rows_edges -> ())
+    t.spaces;
+  let uses_gather =
+    List.exists (function Gemm g -> Gemm_spec.uses_gather g | _ -> false) t.steps
+  in
+  if uses_gather then add "build endpoint gather lists for GEMM access schemes";
+  List.rev !needs
+
+let pp_buffer fmt (b : buffer) =
+  Format.fprintf fmt "%-14s %-5s rows=%-12s dim=%-4d%s%s" b.name
+    (match b.scope with `Node -> "node" | `Edge -> "edge")
+    (Materialization.space_name b.space) b.dim
+    (if b.zero_init then " zero-init" else "")
+    (if b.temp then " temp" else "")
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>plan %s (layout %a)@," t.name Layout.pp t.layout;
+  Format.fprintf fmt "buffers:@,";
+  List.iter (fun b -> Format.fprintf fmt "  %a@," pp_buffer b) t.buffers;
+  Format.fprintf fmt "steps:";
+  List.iter
+    (fun s ->
+      match s with
+      | Weight_op (Linear_fusion.Mat_vec { mat; vec; half; out }) ->
+          Format.fprintf fmt "@,  %s = bmm(%s, %s%s)" out mat vec
+            (match half with `Left -> "[:half]" | `Right -> "[half:]" | `All -> "")
+      | Weight_op (Linear_fusion.Mat_mat { left; right; out; _ }) ->
+          Format.fprintf fmt "@,  %s = bmm(%s, %s)" out left right
+      | Gemm g -> Format.fprintf fmt "@,  %a" Gemm_spec.pp g
+      | Traversal tr -> Format.fprintf fmt "@,  %a" Traversal_spec.pp tr
+      | Fallback f -> Format.fprintf fmt "@,  fallback_%d (%s)" f.kid f.description)
+    t.steps;
+  Format.fprintf fmt "@]"

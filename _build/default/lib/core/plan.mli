@@ -1,0 +1,68 @@
+(** Compiled execution plans.
+
+    A plan is the output of lowering: the ordered kernel steps (the
+    structured analogue of the generated CUDA + host functions), plus the
+    buffer table the host code would allocate.  The runtime interprets a
+    plan against a concrete graph and parameter set; {!Codegen} renders it
+    as CUDA-like source text. *)
+
+type buffer = {
+  name : string;
+  scope : [ `Node | `Edge ];
+  space : Materialization.space;
+  dim : int;  (** columns of the materialized tensor *)
+  zero_init : bool;  (** accumulated variable — must start at zero *)
+  temp : bool;  (** freed after the run (not an output / not kept for backward) *)
+}
+
+type fallback = {
+  kid : int;
+  description : string;  (** which operator forced the fallback *)
+  strategy : Traversal_spec.strategy;
+  body : Inter_ir.stmt list;
+}
+(** A statement run executed by the PyTorch-fallback path: semantically a
+    traversal, but each expression node costs its own kernel launch and
+    full operand materialization (no fusion) — the §3.1.1 escape hatch. *)
+
+type step =
+  | Weight_op of Linear_fusion.weight_op  (** linear-fusion prologue product *)
+  | Gemm of Gemm_spec.t
+  | Traversal of Traversal_spec.t
+  | Fallback of fallback
+
+type t = {
+  name : string;
+  layout : Layout.t;
+  program : Inter_ir.program;  (** the transformed program this plan implements *)
+  buffers : buffer list;  (** in allocation order *)
+  steps : step list;  (** in execution order *)
+  spaces : (Inter_ir.var * Materialization.space) list;
+      (** row-space lookup for every variable the steps may touch,
+          including context (forward-pass) variables *)
+}
+
+val step_name : step -> string
+(** Kernel/step identifier for reports. *)
+
+val gemm_count : t -> int
+(** Number of GEMM-template steps. *)
+
+val traversal_count : t -> int
+(** Number of traversal-template steps. *)
+
+val fallback_count : t -> int
+(** Number of fallback steps. *)
+
+val find_buffer : t -> string -> buffer option
+(** Look up a buffer by variable name. *)
+
+val preprocessing : t -> string list
+(** The dataset preprocessing this plan's kernels require before
+    training/inference can start (§3.6's collection pass): adjacency
+    encodings, compact-materialization maps, node presorting.  The runtime
+    performs these in [Graph_ctx.create]; the generated host code would
+    emit the equivalent invocations. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable plan dump (buffers + steps). *)

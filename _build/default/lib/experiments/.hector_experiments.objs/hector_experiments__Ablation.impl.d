@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Harness Hector_core Hector_gpu Hector_models Hector_runtime List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: Float Harness Hector_baselines Hector_gpu List Option Printf String

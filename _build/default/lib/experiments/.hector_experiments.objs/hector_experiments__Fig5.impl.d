@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Harness Hector_baselines Hector_graph List Printf String

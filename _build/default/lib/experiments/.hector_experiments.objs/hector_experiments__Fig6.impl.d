@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Float Harness Hector_gpu Hector_graph List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Array Hashtbl Hector_baselines Hector_core Hector_gpu Hector_graph Hector_models Hector_runtime Hector_tensor Lazy List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Hector_baselines Hector_gpu Hector_graph

@@ -1,0 +1,1 @@
+lib/experiments/minibatch_exp.ml: Array Harness Hector_core Hector_graph Hector_models Hector_runtime Hector_tensor List Printf

@@ -1,0 +1,1 @@
+lib/experiments/minibatch_exp.mli: Harness

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Float Harness Hector_graph List Printf

@@ -1,0 +1,1 @@
+lib/experiments/table4.ml: Harness Hector_graph List Printf

@@ -1,0 +1,1 @@
+lib/experiments/table5.ml: Array Harness Hector_graph List Printf

@@ -1,0 +1,1 @@
+lib/experiments/table6.ml: Float Harness Hector_graph List Printf String

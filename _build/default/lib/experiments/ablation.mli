@@ -1,0 +1,14 @@
+(** Ablation studies beyond the paper's tables (DESIGN.md extensions).
+
+    Three sweeps, all on RGAT:
+    - {b operator-specific schedules} (§3.3.3): GEMM tile width {16, 32} ×
+      coarsening {1, 2} × [__launch_bounds__], on a large and a small
+      dataset — showing no single schedule wins everywhere;
+    - {b traversal strategy} (§3.3.3's parallelism-vs-reuse trade-off):
+      edge-parallel atomics vs node-gather;
+    - {b device sensitivity} (§6): the same configurations on the RTX 3090
+      and an A100-40GB profile, where the bandwidth/compute balance moves
+      the optimum — plus what {!Hector_runtime.Autotune} picks per
+      device. *)
+
+val run : Harness.t -> unit

@@ -1,0 +1,10 @@
+(** Figure 1 — inference time breakdown of Graphiler (the best prior
+    inference system) versus Hector, running RGAT and HGT on FB15k and
+    MUTAG.
+
+    Renders per-system stacked percentages (GEMM / traversal / copy+index /
+    other) as ASCII bars, showing the paper's two observations: indexing
+    and copies take a significant share of the baseline, and the GEMM share
+    varies with the graph. *)
+
+val run : Harness.t -> unit

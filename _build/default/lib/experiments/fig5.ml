@@ -1,0 +1,68 @@
+module B = Hector_baselines.Baselines
+module Ds = Hector_graph.Datasets
+
+let datasets = List.map (fun (i : Ds.info) -> i.Ds.name) Ds.all
+
+let best_config_label t ~model ~dataset ~training =
+  let best = ref None in
+  List.iter
+    (fun config ->
+      match Harness.hector t ~model ~dataset ~training config with
+      | Harness.Ok { time_ms; _ } -> (
+          match !best with
+          | Some (_, bms) when bms <= time_ms -> ()
+          | _ -> best := Some (Harness.config_label config, time_ms))
+      | Harness.Out_of_memory -> ())
+    Harness.all_configs;
+  !best
+
+let speedups t ~training ~model =
+  List.filter_map
+    (fun dataset ->
+      match (best_config_label t ~model ~dataset ~training, Harness.best_baseline t ~model ~dataset ~training) with
+      | Some (_, hector_ms), Some (_, base_ms) -> Some (base_ms /. hector_ms)
+      | _ -> None)
+    datasets
+
+let run t =
+  List.iter
+    (fun training ->
+      let task = if training then "training" else "inference" in
+      List.iter
+        (fun model ->
+          Printf.printf "Figure 5 (%s, %s): time per epoch, ms (simulated, paper scale)\n" task
+            (String.uppercase_ascii model);
+          Printf.printf "%-9s %9s %9s %9s %9s %9s | %9s %-5s %9s\n" "dataset" "DGL" "PyG"
+            "Seastar" "Graphiler" "HGL" "Hector" "cfg" "speedup";
+          List.iter
+            (fun dataset ->
+              let cell system =
+                match Harness.baseline t system ~model ~dataset ~training with
+                | B.Time { ms; _ } -> Printf.sprintf "%.2f" ms
+                | B.Oom -> "OOM"
+                | B.Unsupported _ -> "n/a"
+              in
+              let hector, cfg, speedup =
+                match best_config_label t ~model ~dataset ~training with
+                | Some (cfg, ms) ->
+                    let speedup =
+                      match Harness.best_baseline t ~model ~dataset ~training with
+                      | Some (_, base) -> Printf.sprintf "%.2fx" (base /. ms)
+                      | None -> "-"
+                    in
+                    (Printf.sprintf "%.2f" ms, cfg, speedup)
+                | None -> ("OOM", "-", "-")
+              in
+              Printf.printf "%-9s %9s %9s %9s %9s %9s | %9s %-5s %9s\n" dataset (cell B.Dgl)
+                (cell B.Pyg) (cell B.Seastar) (cell B.Graphiler) (cell B.Hgl) hector cfg speedup)
+            datasets;
+          let sp = speedups t ~training ~model in
+          if sp <> [] then
+            Printf.printf "%-9s geomean speedup of Hector (best) vs best baseline: %.2fx\n" ""
+              (Harness.geomean sp);
+          Printf.printf "\n")
+        Harness.models)
+    [ false; true ];
+  Printf.printf
+    "(paper geomeans — inference: RGCN 1.94x, RGAT 7.7x, HGT 1.63x;\n\
+    \ training: RGCN 1.80x, RGAT 5.1x, HGT 2.4x)\n"

@@ -1,0 +1,14 @@
+(** Figure 5 — inference and training time of Hector's best-optimized code
+    against DGL, PyG, Seastar, Graphiler and HGL, for the three models on
+    all eight datasets.
+
+    Prints one table per (task, model): baseline times, Hector's best time
+    and configuration, and the speedup against the best baseline; closes
+    with the per-model geometric means the paper quotes (1.94x/7.7x/1.63x
+    inference, 1.80x/5.1x/2.4x training). *)
+
+val run : Harness.t -> unit
+
+val speedups : Harness.t -> training:bool -> model:string -> float list
+(** Best-Hector-vs-best-baseline speedups across the datasets where both
+    complete (used by EXPERIMENTS.md generation and tests). *)

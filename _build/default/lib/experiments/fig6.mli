@@ -1,0 +1,10 @@
+(** Figure 6 — kernel-category breakdown of Hector RGAT inference on AM and
+    FB15k under the four configurations (U, C, F, C+F), with the compaction
+    ratio of each dataset.
+
+    Reproduces §4.4's case study: on AM compaction shrinks the GEMM time
+    but inflates the traversal time through the more complicated access
+    scheme; on FB15k (compaction ratio 26 %) it wins outright; linear
+    operator fusion reduces GEMM time on both. *)
+
+val run : Harness.t -> unit

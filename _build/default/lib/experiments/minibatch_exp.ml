@@ -1,0 +1,32 @@
+module T = Hector_tensor.Tensor
+module Rng = Hector_tensor.Rng
+module G = Hector_graph.Hetgraph
+module Compiler = Hector_core.Compiler
+module Minibatch = Hector_runtime.Minibatch
+
+let run t =
+  Printf.printf
+    "Minibatch step breakdown (RGCN, batch 128, fanout 6, 2 hops; graph host-resident)\n\n";
+  Printf.printf "%-9s | %11s %11s | %9s %11s %11s\n" "dataset" "block nodes" "block edges" "loss"
+    "transfer ms" "compute ms";
+  List.iter
+    (fun ds ->
+      let graph = Harness.dataset t ds in
+      let rng = Rng.create 3 in
+      let classes = 4 in
+      let labels = Array.init graph.G.num_nodes (fun v -> graph.G.node_type.(v) mod classes) in
+      let features = T.randn rng [| graph.G.num_nodes; 16 |] in
+      let compiled =
+        Compiler.compile
+          ~options:(Compiler.options_of_flags ~training:true ~compact:true ~fusion:false ())
+          (Hector_models.Model_defs.rgcn ~in_dim:16 ~out_dim:classes ())
+      in
+      let trainer = Minibatch.create ~graph ~features ~labels compiled in
+      let batch = Array.init (min 128 graph.G.num_nodes) (fun i -> i) in
+      let r = Minibatch.step trainer ~fanout:6 ~hops:2 ~batch () in
+      Printf.printf "%-9s | %11d %11d | %9.4f %11.4f %11.4f\n" ds r.Minibatch.block_nodes
+        r.Minibatch.block_edges r.Minibatch.loss r.Minibatch.transfer_ms r.Minibatch.compute_ms)
+    [ "aifb"; "bgs"; "am"; "mag" ];
+  Printf.printf
+    "\n(blocks run at physical size; transfer is the PCIe cost the paper proposes\n\
+    \ to hide with GPU-side gather kernels over host memory)\n"

@@ -1,0 +1,8 @@
+(** Minibatch step breakdown (extension; paper §6 second item).
+
+    For host-resident graphs, shows where a minibatch step's time goes —
+    host-side sampling, PCIe feature transfer, device compute — across
+    dataset replicas: the data-movement picture §6 proposes to optimize
+    with on-the-fly gather kernels. *)
+
+val run : Harness.t -> unit

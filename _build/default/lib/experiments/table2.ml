@@ -1,0 +1,13 @@
+let run _t =
+  Printf.printf "Table 2: features of Hector and previous GNN end-to-end compilers\n\n";
+  Printf.printf "%-10s | %-9s %-8s | %-6s | %-11s %-17s %-9s\n" "Name" "Inference" "Training"
+    "Memory" "Data layout" "Intra-OP schedule" "Inter-OP";
+  Printf.printf "%s\n" (String.make 84 '-');
+  let row name inf train mem layout intra inter =
+    Printf.printf "%-10s | %-9s %-8s | %-6s | %-11s %-17s %-9s\n" name inf train mem layout intra
+      inter
+  in
+  row "Graphiler" "yes" "-" "yes" "-" "-" "yes";
+  row "Seastar" "yes" "yes" "-" "-" "-" "yes";
+  row "HGL" "-" "yes" "yes" "-" "-" "yes";
+  row "Hector" "better" "better" "better" "yes" "yes" "yes"

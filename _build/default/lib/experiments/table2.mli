@@ -1,0 +1,4 @@
+(** Table 2 — qualitative feature matrix of RGNN end-to-end compilers
+    (static; reproduced for completeness). *)
+
+val run : Harness.t -> unit

@@ -1,0 +1,5 @@
+(** Table 4 — the heterogeneous datasets: paper-scale statistics plus the
+    physical replica each benchmark run actually instantiates (size, cost
+    scale, achieved compaction ratio). *)
+
+val run : Harness.t -> unit

@@ -1,0 +1,66 @@
+module Ds = Hector_graph.Datasets
+
+let datasets = List.map (fun (i : Ds.info) -> i.Ds.name) Ds.all
+
+let u_config = { Harness.compact = false; fusion = false }
+let c_config = { Harness.compact = true; fusion = false }
+
+(* the normalizer: U, or C when U does not fit (the paper's starred rows) *)
+let normalizer t ~model ~dataset ~training =
+  match Harness.hector t ~model ~dataset ~training u_config with
+  | Harness.Ok { time_ms; _ } -> Some (time_ms, false)
+  | Harness.Out_of_memory -> (
+      match Harness.hector t ~model ~dataset ~training c_config with
+      | Harness.Ok { time_ms; _ } -> Some (time_ms, true)
+      | Harness.Out_of_memory -> None)
+
+let speedup t ~model ~dataset ~training config =
+  match (normalizer t ~model ~dataset ~training, Harness.hector t ~model ~dataset ~training config) with
+  | Some (base, _), Harness.Ok { time_ms; _ } -> Some (base /. time_ms)
+  | _ -> None
+
+let run t =
+  Printf.printf
+    "Table 5: speedup on top of unoptimized Hector due to compaction (C) and\n\
+     linear-operator fusion (F); starred rows are normalized by C because the\n\
+     unoptimized version does not fit into GPU memory\n\n";
+  Printf.printf "%-6s %-10s | %6s %6s %6s | %6s %6s %6s\n" "" "" "train:C" "F" "C+F" "infer:C"
+    "F" "C+F";
+  List.iter
+    (fun model ->
+      let sums = Array.make 6 [] in
+      List.iter
+        (fun dataset ->
+          let cells =
+            List.concat_map
+              (fun training ->
+                List.map
+                  (fun config -> (training, config))
+                  [ c_config; { Harness.compact = false; fusion = true };
+                    { Harness.compact = true; fusion = true } ])
+              [ true; false ]
+          in
+          let starred =
+            match normalizer t ~model ~dataset ~training:true with
+            | Some (_, s) -> s
+            | None -> true
+          in
+          let values =
+            List.mapi
+              (fun i (training, config) ->
+                match speedup t ~model ~dataset ~training config with
+                | Some v ->
+                    if not starred then sums.(i) <- v :: sums.(i);
+                    Printf.sprintf "%.2f" v
+                | None -> "OOM")
+              cells
+          in
+          Printf.printf "%-6s %-10s | %6s %6s %6s | %6s %6s %6s\n" model
+            (dataset ^ if starred then "*" else "")
+            (List.nth values 0) (List.nth values 1) (List.nth values 2) (List.nth values 3)
+            (List.nth values 4) (List.nth values 5))
+        datasets;
+      let avg l = if l = [] then "-" else Printf.sprintf "%.2f" (Harness.geomean l) in
+      Printf.printf "%-6s %-10s | %6s %6s %6s | %6s %6s %6s\n\n" model "average"
+        (avg sums.(0)) (avg sums.(1)) (avg sums.(2)) (avg sums.(3)) (avg sums.(4)) (avg sums.(5)))
+    [ "rgat"; "hgt" ]

@@ -1,0 +1,13 @@
+(** Table 5 — speedup on top of unoptimized Hector due to compact
+    materialization (C), linear-operator fusion (F) and both (C+F), for
+    RGAT and HGT, training and inference.
+
+    Rows where the unoptimized configuration OOMs are normalized by C and
+    starred, exactly as the paper's mag*/wikikg2* rows; starred rows are
+    excluded from the averages. *)
+
+val run : Harness.t -> unit
+
+val speedup :
+  Harness.t -> model:string -> dataset:string -> training:bool -> Harness.config -> float option
+(** One cell: config time vs the U (or C when U OOMs) normalizer. *)

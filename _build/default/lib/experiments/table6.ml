@@ -1,0 +1,44 @@
+module Ds = Hector_graph.Datasets
+
+let datasets = List.map (fun (i : Ds.info) -> i.Ds.name) Ds.all
+
+let u_config = { Harness.compact = false; fusion = false }
+
+let stats t ~model ~training =
+  let ratios =
+    List.filter_map
+      (fun dataset ->
+        match
+          ( Harness.hector t ~model ~dataset ~training u_config,
+            Harness.best_baseline t ~model ~dataset ~training )
+        with
+        | Harness.Ok { time_ms; _ }, Some (_, base) -> Some (base /. time_ms)
+        | _ -> None)
+      datasets
+  in
+  match ratios with
+  | [] -> None
+  | rs ->
+      let worst = List.fold_left Float.min infinity rs in
+      let best = List.fold_left Float.max neg_infinity rs in
+      let slowdowns = List.length (List.filter (fun r -> r < 1.0) rs) in
+      Some (slowdowns, worst, Harness.geomean rs, best)
+
+let run t =
+  Printf.printf
+    "Table 6: speedup of Hector UNOPTIMIZED code vs the best state-of-the-art system\n\
+     (worst W, average M, best B, number of slowdown cases #D; OOM rows excluded)\n\n";
+  Printf.printf "%-6s | %4s %6s %6s %6s | %4s %6s %6s %6s\n" "" "#D" "W" "M" "B" "#D" "W" "M" "B";
+  Printf.printf "%-6s | %-26s | %s\n" "" "         Training" "        Inference";
+  List.iter
+    (fun model ->
+      let cell training =
+        match stats t ~model ~training with
+        | Some (d, w, m, b) -> Printf.sprintf "%4d %6.2f %6.2f %6.2f" d w m b
+        | None -> Printf.sprintf "%4s %6s %6s %6s" "-" "-" "-" "-"
+      in
+      Printf.printf "%-6s | %s | %s\n" (String.uppercase_ascii model) (cell true) (cell false))
+    Harness.models;
+  Printf.printf
+    "\n(paper: RGCN 1/.93/1.64/3.8 train, 1/.97/1.44/3.7 infer; RGAT 0/4.4/4.93/5.6, 0/5.3/6.39/7.8;\n\
+    \ HGT 1/.98/1.88/3.3, 1/.77/1.19/2.0)\n"

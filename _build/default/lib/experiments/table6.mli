@@ -1,0 +1,11 @@
+(** Table 6 — speedup of {e unoptimized} Hector versus the best
+    state-of-the-art system: worst / average / best cases and the number of
+    slowdown cases, per model, for training and inference.  Dataset rows
+    where either side OOMs are excluded, as in the paper. *)
+
+val run : Harness.t -> unit
+
+val stats :
+  Harness.t -> model:string -> training:bool ->
+  (int * float * float * float) option
+(** [(slowdowns, worst, mean, best)] across runnable datasets. *)

@@ -1,0 +1,1 @@
+lib/gpu/engine.ml: Buffer Device Float Kernel List Memory Printf Stats

@@ -1,0 +1,1 @@
+lib/gpu/engine.mli: Device Kernel Memory Stats

@@ -1,0 +1,1 @@
+lib/gpu/stats.ml: Format Hashtbl Kernel List Option

@@ -1,0 +1,109 @@
+type event = {
+  name : string;
+  category : Kernel.category;
+  start_ms : float;
+  duration_ms : float;
+}
+
+type t = {
+  device : Device.t;
+  scale : float;
+  memory : Memory.t;
+  stats : Stats.t;
+  trace : bool;
+  mutable events : event list;  (* newest first *)
+  mutable clock_ms : float;
+}
+
+let create ?(device = Device.rtx3090) ?(scale = 1.0) ?(trace = false) () =
+  if scale < 1.0 then invalid_arg "Engine.create: scale must be >= 1";
+  {
+    device;
+    scale;
+    memory =
+      Memory.create
+        ~capacity_bytes:(device.Device.global_mem_bytes -. device.Device.reserved_bytes)
+        ~scale;
+    stats = Stats.create ();
+    trace;
+    events = [];
+    clock_ms = 0.0;
+  }
+
+let device t = t.device
+let scale t = t.scale
+let memory t = t.memory
+let stats t = t.stats
+let elapsed_ms t = t.clock_ms
+
+let reset_clock t =
+  t.clock_ms <- 0.0;
+  t.events <- [];
+  Stats.reset t.stats
+
+let events t = List.rev t.events
+
+let to_chrome_trace t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1}"
+           e.name
+           (Kernel.category_name e.category)
+           (e.start_ms *. 1e3) (e.duration_ms *. 1e3)))
+    (events t);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let occupancy (d : Device.t) ~blocks ~threads_per_block =
+  let resident = float_of_int blocks *. float_of_int threads_per_block in
+  let capacity = float_of_int d.Device.sm_count *. float_of_int d.Device.max_threads_per_sm in
+  Float.max 0.015 (Float.min 1.0 (resident /. capacity))
+
+let cost_ms (d : Device.t) (k : Kernel.t) =
+  let u = occupancy d ~blocks:k.Kernel.grid_blocks ~threads_per_block:k.Kernel.threads_per_block in
+  let compute_s = k.Kernel.flops /. (d.Device.peak_gflops *. 1e9 *. u) in
+  (* Bandwidth saturates well below full occupancy: half the SMs streaming
+     already reach peak DRAM throughput. *)
+  let bw_util = Float.min 1.0 (u /. 0.25) in
+  let bw = d.Device.mem_bandwidth_gbs *. 1e9 *. Float.max 0.05 bw_util in
+  let mem_s =
+    (k.Kernel.bytes_coalesced /. bw)
+    +. (k.Kernel.bytes_gathered /. (bw *. d.Device.gather_efficiency))
+    +. (k.Kernel.bytes_atomic /. (d.Device.atomic_bandwidth_gbs *. 1e9 *. Float.max 0.05 bw_util))
+  in
+  let overhead_s = d.Device.launch_overhead_us *. 1e-6 in
+  (overhead_s +. Float.max compute_s mem_s) *. 1e3
+
+let scaled_kernel t (k : Kernel.t) =
+  if not k.Kernel.graph_proportional || t.scale = 1.0 then k
+  else
+    let s = t.scale in
+    {
+      k with
+      Kernel.grid_blocks =
+        max 1 (int_of_float (Float.round (float_of_int k.Kernel.grid_blocks *. s)));
+      flops = k.Kernel.flops *. s;
+      bytes_coalesced = k.Kernel.bytes_coalesced *. s;
+      bytes_gathered = k.Kernel.bytes_gathered *. s;
+      bytes_atomic = k.Kernel.bytes_atomic *. s;
+    }
+
+let launch t k =
+  let k' = scaled_kernel t k in
+  let time = cost_ms t.device k' in
+  if t.trace then
+    t.events <-
+      { name = k.Kernel.name; category = k.Kernel.category; start_ms = t.clock_ms; duration_ms = time }
+      :: t.events;
+  t.clock_ms <- t.clock_ms +. time;
+  Stats.record t.stats k' ~time_ms:time ~flops:k'.Kernel.flops ~bytes:(Kernel.total_bytes k')
+
+let host_sync t ?(us = 5.0) () = t.clock_ms <- t.clock_ms +. (us *. 1e-3)
+
+let alloc_tensor t ?(graph_proportional = true) ~label ~rows ~cols () =
+  Memory.alloc t.memory ~graph_proportional ~label (float_of_int rows *. float_of_int cols *. 4.0)

@@ -1,0 +1,71 @@
+(** The GPU execution engine: clock + allocator + statistics.
+
+    [launch] charges a {!Kernel.t} descriptor to the simulated clock using a
+    roofline-style cost model (see {!cost_ms} for the exact formula) and
+    records it in the statistics.  Graph-proportional kernels are charged at
+    logical (paper) scale.
+
+    The engine is deterministic: identical launch sequences give identical
+    elapsed times, so benchmark tables need no averaging over epochs. *)
+
+type t
+(** Mutable engine state. *)
+
+val create : ?device:Device.t -> ?scale:float -> ?trace:bool -> unit -> t
+(** Fresh engine (default device {!Device.rtx3090}, default scale 1).
+    With [trace:true] every launch is recorded on a timeline (see
+    {!events} / {!to_chrome_trace}). *)
+
+val device : t -> Device.t
+(** The simulated device. *)
+
+val scale : t -> float
+(** Graph cost scale in effect. *)
+
+val launch : t -> Kernel.t -> unit
+(** Execute one kernel launch: advance the clock and record statistics. *)
+
+val host_sync : t -> ?us:float -> unit -> unit
+(** Charge a host-side synchronization/dispatch gap (e.g. a Python-loop
+    iteration between per-relation kernels in baseline systems). *)
+
+val elapsed_ms : t -> float
+(** Simulated time since creation or the last {!reset_clock}. *)
+
+val reset_clock : t -> unit
+(** Zero the clock and statistics (allocations stay). *)
+
+val stats : t -> Stats.t
+(** Live statistics accumulator. *)
+
+type event = {
+  name : string;
+  category : Kernel.category;
+  start_ms : float;  (** simulated start time *)
+  duration_ms : float;
+}
+
+val events : t -> event list
+(** The recorded launch timeline, in execution order (empty unless the
+    engine was created with [trace:true]). *)
+
+val to_chrome_trace : t -> string
+(** Serialize the timeline as a Chrome-tracing JSON document
+    (load in [chrome://tracing] or Perfetto). *)
+
+val memory : t -> Memory.t
+(** The device allocator of this engine. *)
+
+val alloc_tensor :
+  t -> ?graph_proportional:bool -> label:string -> rows:int -> cols:int -> unit -> Memory.allocation
+(** Convenience: allocate a [rows × cols] fp32 tensor. *)
+
+val cost_ms : Device.t -> Kernel.t -> float
+(** The pure cost model, exposed for tests and analysis:
+    {ul
+    {- occupancy [u = min 1 (resident threads / device capacity)], floored;}
+    {- compute time = flops / (peak × u);}
+    {- memory time = coalesced/bw + gathered/(bw × gather_eff) + atomic/atomic_bw,
+       divided by a bandwidth utilization that also degrades at low occupancy;}
+    {- total = launch overhead + max(compute, memory).}}
+    Work quantities must already be at logical scale. *)

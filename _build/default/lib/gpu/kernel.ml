@@ -1,0 +1,44 @@
+type category = Gemm | Traversal | Copy | Index | Fallback | Reduction
+
+let category_name = function
+  | Gemm -> "gemm"
+  | Traversal -> "traversal"
+  | Copy -> "copy"
+  | Index -> "index"
+  | Fallback -> "fallback"
+  | Reduction -> "reduction"
+
+let all_categories = [ Gemm; Traversal; Copy; Index; Fallback; Reduction ]
+
+type t = {
+  name : string;
+  category : category;
+  grid_blocks : int;
+  threads_per_block : int;
+  flops : float;
+  bytes_coalesced : float;
+  bytes_gathered : float;
+  bytes_atomic : float;
+  graph_proportional : bool;
+}
+
+let make ~name ~category ?(grid_blocks = 1) ?(threads_per_block = 256) ?(flops = 0.0)
+    ?(bytes_coalesced = 0.0) ?(bytes_gathered = 0.0) ?(bytes_atomic = 0.0)
+    ?(graph_proportional = true) () =
+  if grid_blocks <= 0 || threads_per_block <= 0 then
+    invalid_arg "Kernel.make: grid and block sizes must be positive";
+  if flops < 0.0 || bytes_coalesced < 0.0 || bytes_gathered < 0.0 || bytes_atomic < 0.0 then
+    invalid_arg "Kernel.make: work quantities must be non-negative";
+  {
+    name;
+    category;
+    grid_blocks;
+    threads_per_block;
+    flops;
+    bytes_coalesced;
+    bytes_gathered;
+    bytes_atomic;
+    graph_proportional;
+  }
+
+let total_bytes t = t.bytes_coalesced +. t.bytes_gathered +. t.bytes_atomic

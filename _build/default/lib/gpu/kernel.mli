@@ -1,0 +1,54 @@
+(** Kernel launch descriptors.
+
+    Every simulated kernel launch is summarized by the quantities the cost
+    model needs: category (for breakdown figures), grid geometry (for
+    occupancy), arithmetic work and memory traffic split by access pattern.
+    The runtime constructs these alongside the actual CPU computation of the
+    kernel's result. *)
+
+type category =
+  | Gemm  (** instances of the GEMM template (includes segment/batched MM) *)
+  | Traversal  (** instances of the node/edge traversal template *)
+  | Copy  (** materialization copies: weight replication, feature copies *)
+  | Index  (** index construction / conversion (Figure 1 "indexing") *)
+  | Fallback  (** operators executed by the PyTorch-fallback path *)
+  | Reduction  (** standalone reductions (losses, norms) *)
+
+val category_name : category -> string
+(** Short label used in breakdown tables ("gemm", "traversal", ...). *)
+
+val all_categories : category list
+(** Fixed presentation order of the categories. *)
+
+type t = {
+  name : string;  (** kernel identifier, e.g. ["gemm_3"] *)
+  category : category;
+  grid_blocks : int;  (** thread blocks in the launch *)
+  threads_per_block : int;
+  flops : float;  (** total floating-point operations *)
+  bytes_coalesced : float;  (** streaming/coalesced global traffic *)
+  bytes_gathered : float;  (** row-granular gather/scatter traffic *)
+  bytes_atomic : float;  (** traffic through atomic read-modify-writes *)
+  graph_proportional : bool;
+      (** when true the engine multiplies work, traffic and grid size by the
+          graph's cost scale (logical-size accounting; see DESIGN.md) *)
+}
+
+val make :
+  name:string ->
+  category:category ->
+  ?grid_blocks:int ->
+  ?threads_per_block:int ->
+  ?flops:float ->
+  ?bytes_coalesced:float ->
+  ?bytes_gathered:float ->
+  ?bytes_atomic:float ->
+  ?graph_proportional:bool ->
+  unit ->
+  t
+(** Build a descriptor; work/traffic default to 0, geometry to one block of
+    256 threads, [graph_proportional] to [true] (most RGNN kernels scale
+    with the graph). *)
+
+val total_bytes : t -> float
+(** Sum of the three traffic classes. *)

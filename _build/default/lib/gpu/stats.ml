@@ -1,0 +1,63 @@
+type entry = { launches : int; time_ms : float; flops : float; bytes : float }
+
+let empty_entry = { launches = 0; time_ms = 0.0; flops = 0.0; bytes = 0.0 }
+
+let add_entry e ~time_ms ~flops ~bytes =
+  {
+    launches = e.launches + 1;
+    time_ms = e.time_ms +. time_ms;
+    flops = e.flops +. flops;
+    bytes = e.bytes +. bytes;
+  }
+
+type t = {
+  mutable categories : (Kernel.category * entry) list;
+  kernels : (string, entry) Hashtbl.t;
+}
+
+let create () =
+  { categories = List.map (fun c -> (c, empty_entry)) Kernel.all_categories; kernels = Hashtbl.create 64 }
+
+let record t (k : Kernel.t) ~time_ms ~flops ~bytes =
+  t.categories <-
+    List.map
+      (fun (c, e) -> if c = k.Kernel.category then (c, add_entry e ~time_ms ~flops ~bytes) else (c, e))
+      t.categories;
+  let prev = Option.value (Hashtbl.find_opt t.kernels k.Kernel.name) ~default:empty_entry in
+  Hashtbl.replace t.kernels k.Kernel.name (add_entry prev ~time_ms ~flops ~bytes)
+
+let total t =
+  List.fold_left
+    (fun acc (_, e) ->
+      {
+        launches = acc.launches + e.launches;
+        time_ms = acc.time_ms +. e.time_ms;
+        flops = acc.flops +. e.flops;
+        bytes = acc.bytes +. e.bytes;
+      })
+    empty_entry t.categories
+
+let by_category t = t.categories
+
+let of_category t c = List.assoc c t.categories
+
+let by_kernel t =
+  let items = Hashtbl.fold (fun name e acc -> (name, e) :: acc) t.kernels [] in
+  List.sort (fun (_, a) (_, b) -> compare b.time_ms a.time_ms) items
+
+let reset t =
+  t.categories <- List.map (fun c -> (c, empty_entry)) Kernel.all_categories;
+  Hashtbl.reset t.kernels
+
+let pp_breakdown fmt t =
+  let tot = total t in
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (c, e) ->
+      if e.launches > 0 then
+        Format.fprintf fmt "%-10s %8.3f ms  %5.1f%%  (%d launches)@,"
+          (Kernel.category_name c) e.time_ms
+          (if tot.time_ms > 0.0 then 100.0 *. e.time_ms /. tot.time_ms else 0.0)
+          e.launches)
+    t.categories;
+  Format.fprintf fmt "%-10s %8.3f ms  100.0%%  (%d launches)@]" "total" tot.time_ms tot.launches

@@ -1,0 +1,42 @@
+(** Execution statistics of a simulated run.
+
+    Accumulates per-category and per-kernel-name time, launch counts, work
+    and traffic — the raw material for the breakdown figures (Figure 1,
+    Figure 6) and for launch-count analyses (Table 1). *)
+
+type entry = {
+  launches : int;
+  time_ms : float;
+  flops : float;
+  bytes : float;
+}
+(** Aggregate over a set of launches. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+(** Empty statistics. *)
+
+val record : t -> Kernel.t -> time_ms:float -> flops:float -> bytes:float -> unit
+(** Account one launch under its category and kernel name (work quantities
+    are the scaled/logical ones actually charged by the engine). *)
+
+val total : t -> entry
+(** Aggregate over everything. *)
+
+val by_category : t -> (Kernel.category * entry) list
+(** Entries for every category (zero entries included), in
+    {!Kernel.all_categories} order. *)
+
+val of_category : t -> Kernel.category -> entry
+(** Aggregate of one category. *)
+
+val by_kernel : t -> (string * entry) list
+(** Per-kernel-name entries sorted by descending time. *)
+
+val reset : t -> unit
+(** Clear all counters. *)
+
+val pp_breakdown : Format.formatter -> t -> unit
+(** Render a category breakdown table (time and share per category). *)

@@ -1,0 +1,1 @@
+lib/graph/compact_map.ml: Array Hashtbl Hetgraph List

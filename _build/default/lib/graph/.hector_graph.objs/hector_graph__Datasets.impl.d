@@ -1,0 +1,1 @@
+lib/graph/datasets.ml: Float Generator Hashtbl List Printf String

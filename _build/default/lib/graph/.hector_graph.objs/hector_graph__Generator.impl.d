@@ -1,0 +1,1 @@
+lib/graph/generator.ml: Array Float Hashtbl Hector_tensor Hetgraph Metagraph Printf

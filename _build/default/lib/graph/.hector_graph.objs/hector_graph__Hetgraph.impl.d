@@ -1,0 +1,1 @@
+lib/graph/hetgraph.ml: Array Float Format Metagraph Printf

@@ -1,0 +1,1 @@
+lib/graph/hetgraph.mli: Format Metagraph

@@ -1,0 +1,1 @@
+lib/graph/metagraph.ml: Array Format Printf

@@ -1,0 +1,1 @@
+lib/graph/metagraph.mli: Format

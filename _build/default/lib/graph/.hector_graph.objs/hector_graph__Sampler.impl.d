@@ -1,0 +1,1 @@
+lib/graph/sampler.ml: Array Csr Hashtbl Hector_tensor Hetgraph List Printf

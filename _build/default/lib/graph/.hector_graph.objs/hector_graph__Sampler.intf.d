@@ -1,0 +1,1 @@
+lib/graph/sampler.mli: Hetgraph

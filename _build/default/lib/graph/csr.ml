@@ -1,0 +1,47 @@
+type t = { row_ptr : int array; col : int array; eid : int array }
+
+let build num_rows ~row_of ~col_of num_edges =
+  let counts = Array.make (num_rows + 1) 0 in
+  for i = 0 to num_edges - 1 do
+    let r = row_of i in
+    counts.(r + 1) <- counts.(r + 1) + 1
+  done;
+  for r = 1 to num_rows do
+    counts.(r) <- counts.(r) + counts.(r - 1)
+  done;
+  let row_ptr = Array.copy counts in
+  let col = Array.make num_edges 0 and eid = Array.make num_edges 0 in
+  let cursor = Array.sub counts 0 (num_rows + 1) in
+  for i = 0 to num_edges - 1 do
+    let r = row_of i in
+    let pos = cursor.(r) in
+    col.(pos) <- col_of i;
+    eid.(pos) <- i;
+    cursor.(r) <- pos + 1
+  done;
+  { row_ptr; col; eid }
+
+let incoming (g : Hetgraph.t) =
+  build g.num_nodes ~row_of:(fun i -> g.dst.(i)) ~col_of:(fun i -> g.src.(i)) g.num_edges
+
+let outgoing (g : Hetgraph.t) =
+  build g.num_nodes ~row_of:(fun i -> g.src.(i)) ~col_of:(fun i -> g.dst.(i)) g.num_edges
+
+let degree t r = t.row_ptr.(r + 1) - t.row_ptr.(r)
+
+let neighbors t r =
+  let acc = ref [] in
+  for k = t.row_ptr.(r + 1) - 1 downto t.row_ptr.(r) do
+    acc := (t.col.(k), t.eid.(k)) :: !acc
+  done;
+  !acc
+
+let owner_of_index t k =
+  if k < 0 || k >= Array.length t.col then invalid_arg "Csr.owner_of_index: out of range";
+  (* last row r with row_ptr.(r) <= k *)
+  let lo = ref 0 and hi = ref (Array.length t.row_ptr - 1) in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if t.row_ptr.(mid) <= k then lo := mid else hi := mid
+  done;
+  !lo

@@ -1,0 +1,34 @@
+(** Compressed sparse row encodings of the adjacency.
+
+    The intra-operator templates are agnostic to the sparse encoding as long
+    as the id-retrieval closures exist (paper §3.3.5): with COO,
+    [GetSrcId] is a subscript into the source array; with CSR it is an
+    ownership search in the row-pointer array.  This module provides the CSR
+    side, in both directions, carrying original edge ids so per-edge data can
+    be located regardless of encoding. *)
+
+type t = private {
+  row_ptr : int array;  (** length = #rows + 1 *)
+  col : int array;  (** neighbor node id per stored edge *)
+  eid : int array;  (** original (COO) edge id per stored edge *)
+}
+
+val incoming : Hetgraph.t -> t
+(** [incoming g] has one row per node [v] listing the {e sources} of edges
+    whose destination is [v] — the iteration order of
+    [n.incoming_edges()]. *)
+
+val outgoing : Hetgraph.t -> t
+(** [outgoing g] has one row per node [v] listing the {e destinations} of
+    edges whose source is [v]. *)
+
+val degree : t -> int -> int
+(** Row length. *)
+
+val neighbors : t -> int -> (int * int) list
+(** [neighbors t v] is the [(neighbor, eid)] list of row [v]. *)
+
+val owner_of_index : t -> int -> int
+(** [owner_of_index t k] is the row owning position [k] of [col] — the
+    binary search into [row_ptr] that the paper names as the CSR
+    implementation of [GetSrcId]/[GetDstId]. *)

@@ -1,0 +1,108 @@
+type t = {
+  name : string;
+  metagraph : Metagraph.t;
+  num_nodes : int;
+  num_edges : int;
+  node_type : int array;
+  src : int array;
+  dst : int array;
+  etype : int array;
+  scale : float;
+}
+
+let num_ntypes g = Metagraph.num_ntypes g.metagraph
+let num_etypes g = Metagraph.num_etypes g.metagraph
+
+let create ?(name = "graph") ?(scale = 1.0) ~metagraph ~node_type ~edges () =
+  if scale < 1.0 then invalid_arg "Hetgraph.create: scale must be >= 1";
+  let num_nodes = Array.length node_type in
+  let nt_count = Metagraph.num_ntypes metagraph in
+  Array.iteri
+    (fun i nt ->
+      if nt < 0 || nt >= nt_count then
+        invalid_arg (Printf.sprintf "Hetgraph.create: node %d has type %d out of %d" i nt nt_count);
+      if i > 0 && node_type.(i - 1) > nt then
+        invalid_arg "Hetgraph.create: node types must be sorted (nodes grouped by type)")
+    node_type;
+  let edges = Array.copy edges in
+  (* stable: callers (e.g. the sampler) rely on input order within a type *)
+  Array.stable_sort (fun (_, _, e1) (_, _, e2) -> compare e1 e2) edges;
+  let num_edges = Array.length edges in
+  let src = Array.make num_edges 0
+  and dst = Array.make num_edges 0
+  and etype = Array.make num_edges 0 in
+  let et_count = Metagraph.num_etypes metagraph in
+  Array.iteri
+    (fun i (s, d, e) ->
+      if e < 0 || e >= et_count then
+        invalid_arg (Printf.sprintf "Hetgraph.create: edge %d has type %d out of %d" i e et_count);
+      if s < 0 || s >= num_nodes || d < 0 || d >= num_nodes then
+        invalid_arg (Printf.sprintf "Hetgraph.create: edge %d endpoints (%d, %d) out of %d" i s d num_nodes);
+      if node_type.(s) <> Metagraph.src_ntype metagraph e then
+        invalid_arg
+          (Printf.sprintf "Hetgraph.create: edge %d source type %d violates relation %d" i
+             node_type.(s) e);
+      if node_type.(d) <> Metagraph.dst_ntype metagraph e then
+        invalid_arg
+          (Printf.sprintf "Hetgraph.create: edge %d destination type %d violates relation %d" i
+             node_type.(d) e);
+      src.(i) <- s;
+      dst.(i) <- d;
+      etype.(i) <- e)
+    edges;
+  { name; metagraph; num_nodes; num_edges; node_type = Array.copy node_type; src; dst; etype; scale }
+
+let logical_nodes g = int_of_float (Float.round (float_of_int g.num_nodes *. g.scale))
+let logical_edges g = int_of_float (Float.round (float_of_int g.num_edges *. g.scale))
+
+let density g =
+  let n = float_of_int (logical_nodes g) in
+  if n = 0.0 then 0.0 else float_of_int (logical_edges g) /. (n *. n)
+
+(* Find the contiguous range of [key] in a sorted array via linear bounds.
+   Ranges are queried per type, and type counts are small, so precompute
+   lazily would be overkill; a binary search keeps it O(log n). *)
+let range_of_sorted sorted key =
+  let n = Array.length sorted in
+  let lower_bound k =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if sorted.(mid) < k then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let start = lower_bound key in
+  let stop = lower_bound (key + 1) in
+  (start, stop - start)
+
+let nodes_of_type g nt =
+  if nt < 0 || nt >= num_ntypes g then invalid_arg "Hetgraph.nodes_of_type: bad type";
+  range_of_sorted g.node_type nt
+
+let edges_of_type g e =
+  if e < 0 || e >= num_etypes g then invalid_arg "Hetgraph.edges_of_type: bad type";
+  range_of_sorted g.etype e
+
+let in_degrees g =
+  let d = Array.make g.num_nodes 0 in
+  Array.iter (fun v -> d.(v) <- d.(v) + 1) g.dst;
+  d
+
+let out_degrees g =
+  let d = Array.make g.num_nodes 0 in
+  Array.iter (fun v -> d.(v) <- d.(v) + 1) g.src;
+  d
+
+let in_degrees_by_rel g =
+  let d = Array.make_matrix (num_etypes g) g.num_nodes 0 in
+  for i = 0 to g.num_edges - 1 do
+    let r = g.etype.(i) and v = g.dst.(i) in
+    d.(r).(v) <- d.(r).(v) + 1
+  done;
+  d
+
+let pp fmt g =
+  Format.fprintf fmt "%s: %d ntypes, %d etypes, %d nodes, %d edges (scale %.0f -> %d/%d logical)"
+    g.name (num_ntypes g) (num_etypes g) g.num_nodes g.num_edges g.scale (logical_nodes g)
+    (logical_edges g)

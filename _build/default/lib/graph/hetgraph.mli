@@ -1,0 +1,77 @@
+(** Heterogeneous graphs in COO form.
+
+    The canonical in-memory representation used by the compiler and runtime:
+    typed nodes, typed edges in coordinate form, plus a {e cost scale}
+    recording how much larger the logical (paper-scale) graph is than this
+    physical instance — the GPU simulator multiplies graph-proportional
+    costs by it (see DESIGN.md).
+
+    Invariants established by {!create}:
+    - node ids are grouped by node type (all type-0 nodes first, ...), which
+      is the "nodes are presorted" assumption that enables segment-MM;
+    - edges are sorted by edge type, so each edge type occupies a contiguous
+      id range (segment iteration, per-relation kernels);
+    - every edge respects the metagraph ([type (src e) = src_ntype (etype e)]
+      and symmetrically for the destination). *)
+
+type t = private {
+  name : string;
+  metagraph : Metagraph.t;
+  num_nodes : int;
+  num_edges : int;
+  node_type : int array;  (** per node, non-decreasing *)
+  src : int array;  (** per edge, source node id *)
+  dst : int array;  (** per edge, destination node id *)
+  etype : int array;  (** per edge, non-decreasing *)
+  scale : float;  (** logical size / physical size, >= 1 *)
+}
+
+val create :
+  ?name:string ->
+  ?scale:float ->
+  metagraph:Metagraph.t ->
+  node_type:int array ->
+  edges:(int * int * int) array ->
+  unit ->
+  t
+(** [create ~metagraph ~node_type ~edges ()] validates and normalizes a
+    graph.  [edges] are [(src, dst, etype)] triples in any order; they are
+    sorted by edge type internally.  [node_type] must be sorted
+    (non-decreasing); node ids out of range, unsorted node types, or edges
+    violating the metagraph raise [Invalid_argument]. *)
+
+val num_ntypes : t -> int
+(** Number of node types. *)
+
+val num_etypes : t -> int
+(** Number of edge types. *)
+
+val logical_nodes : t -> int
+(** Paper-scale node count ([num_nodes * scale], rounded). *)
+
+val logical_edges : t -> int
+(** Paper-scale edge count. *)
+
+val density : t -> float
+(** [logical_edges / logical_nodes^2] — the column reported in Table 4. *)
+
+val nodes_of_type : t -> int -> int * int
+(** [nodes_of_type g nt] is the contiguous id range [(start, count)] of
+    nodes with type [nt] (possibly empty). *)
+
+val edges_of_type : t -> int -> int * int
+(** [edges_of_type g e] is the contiguous edge-id range [(start, count)] of
+    edges with type [e] (possibly empty). *)
+
+val in_degrees : t -> int array
+(** Per-node incoming degree. *)
+
+val out_degrees : t -> int array
+(** Per-node outgoing degree. *)
+
+val in_degrees_by_rel : t -> int array array
+(** [in_degrees_by_rel g] has element [(r, v)] = number of incoming edges of
+    relation [r] at node [v] — the [c_{v,r}] normalization of RGCN. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary printer. *)

@@ -1,0 +1,80 @@
+module Rng = Hector_tensor.Rng
+
+type subgraph = {
+  graph : Hetgraph.t;
+  origin_node : int array;
+  origin_edge : int array;
+  seed_nodes : int array;
+}
+
+let sample ?(seed = 0) ~(graph : Hetgraph.t) ~seeds ~fanout ~hops () =
+  if Array.length seeds = 0 then invalid_arg "Sampler.sample: empty seed set";
+  if fanout <= 0 || hops <= 0 then invalid_arg "Sampler.sample: fanout and hops must be positive";
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= graph.Hetgraph.num_nodes then
+        invalid_arg (Printf.sprintf "Sampler.sample: seed %d out of range" v))
+    seeds;
+  let rng = Rng.create seed in
+  let csr = Csr.incoming graph in
+  let in_block = Hashtbl.create (Array.length seeds * 4) in
+  let edges = ref [] (* parent edge ids, newest first *) in
+  Array.iter (fun v -> Hashtbl.replace in_block v ()) seeds;
+  let frontier = ref (Array.to_list seeds) in
+  for _ = 1 to hops do
+    let next = ref [] in
+    List.iter
+      (fun v ->
+        let incident = Array.of_list (Csr.neighbors csr v) in
+        Rng.shuffle rng incident;
+        let keep = min fanout (Array.length incident) in
+        for i = 0 to keep - 1 do
+          let src, eid = incident.(i) in
+          edges := eid :: !edges;
+          if not (Hashtbl.mem in_block src) then begin
+            Hashtbl.replace in_block src ();
+            next := src :: !next
+          end
+        done)
+      !frontier;
+    frontier := !next
+  done;
+  (* renumber nodes, grouped by type to keep the presorting invariant *)
+  let nodes = Hashtbl.fold (fun v () acc -> v :: acc) in_block [] in
+  let origin_node =
+    Array.of_list
+      (List.sort
+         (fun a b ->
+           compare
+             (graph.Hetgraph.node_type.(a), a)
+             (graph.Hetgraph.node_type.(b), b))
+         nodes)
+  in
+  let new_id = Hashtbl.create (Array.length origin_node) in
+  Array.iteri (fun i v -> Hashtbl.replace new_id v i) origin_node;
+  let node_type = Array.map (fun v -> graph.Hetgraph.node_type.(v)) origin_node in
+  (* stable-sort the selected edges by type so Hetgraph.create's ordering
+     matches ours and the origin mapping survives *)
+  let origin_edge = Array.of_list (List.rev !edges) in
+  Array.stable_sort (fun a b -> compare graph.Hetgraph.etype.(a) graph.Hetgraph.etype.(b)) origin_edge;
+  let triples =
+    Array.map
+      (fun eid ->
+        ( Hashtbl.find new_id graph.Hetgraph.src.(eid),
+          Hashtbl.find new_id graph.Hetgraph.dst.(eid),
+          graph.Hetgraph.etype.(eid) ))
+      origin_edge
+  in
+  let sub =
+    Hetgraph.create
+      ~name:(graph.Hetgraph.name ^ "_block")
+      ~metagraph:graph.Hetgraph.metagraph ~node_type ~edges:triples ()
+  in
+  {
+    graph = sub;
+    origin_node;
+    origin_edge;
+    seed_nodes = Array.map (Hashtbl.find new_id) seeds;
+  }
+
+let induced_feature_rows sub = sub.origin_node

@@ -1,0 +1,36 @@
+(** Neighborhood sampling for minibatch training (paper §6, second item:
+    "Optimize data movement in minibatch training — graphs [that] cannot
+    fit into GPU memory have to stay in host memory ... in each step,
+    subgraphs are sampled and transferred to the GPU").
+
+    [sample] draws a k-hop sampled neighborhood of a seed node set, DGL
+    style: per hop, up to [fanout] incoming edges of every frontier node.
+    The result is a self-contained {!Hetgraph.t} (node ids renumbered and
+    re-grouped by type so all compiler invariants hold) plus the mappings
+    back into the parent graph. *)
+
+type subgraph = {
+  graph : Hetgraph.t;  (** the sampled block, a valid graph of its own *)
+  origin_node : int array;  (** subgraph node id → parent node id *)
+  origin_edge : int array;  (** subgraph edge id → parent edge id *)
+  seed_nodes : int array;  (** subgraph ids of the seeds (training targets) *)
+}
+
+val sample :
+  ?seed:int ->
+  graph:Hetgraph.t ->
+  seeds:int array ->
+  fanout:int ->
+  hops:int ->
+  unit ->
+  subgraph
+(** Sample a block.  [seeds] are parent node ids; [fanout] bounds the
+    incoming edges kept per node per hop (uniform without replacement);
+    [hops >= 1].  The subgraph inherits the parent's metagraph and cost
+    scale 1 (a minibatch runs at its physical size).  Raises
+    [Invalid_argument] on empty seeds, out-of-range ids or non-positive
+    fanout/hops. *)
+
+val induced_feature_rows : subgraph -> int array
+(** The parent rows to gather when transferring node features to the
+    device — [origin_node], exposed under the name the runtime uses. *)

@@ -1,0 +1,1 @@
+lib/models/model_defs.ml: Hector_core List Printf

@@ -1,0 +1,1 @@
+lib/models/reference.ml: Array Hector_graph Hector_tensor List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/models/reference.mli: Hector_graph Hector_tensor

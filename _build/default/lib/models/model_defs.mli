@@ -1,0 +1,58 @@
+(** The three evaluation models as inter-operator IR programs.
+
+    These builders play the role of the [@hector.compile] frontend output
+    for RGCN [Schlichtkrull et al.], RGAT [Chen et al.] and HGT
+    [Hu et al.] — the models of the paper's evaluation (§4.1), single
+    head, one layer, feature dimensions defaulting to the paper's 64.
+
+    The programs are written in the Listing-1 style (node loops with
+    incoming-edge nests where the math is formulated that way), so they
+    also exercise the graph-semantic-aware loop transforms. *)
+
+val edge_softmax : pre:string -> sum:string -> out:string -> Hector_core.Inter_ir.stmt list
+(** The edge-softmax operator of Figure 2 expressed as reusable IR, exactly
+    as Listing 1 lines 1–9: exponentiation, per-destination accumulation,
+    normalization.  [pre] is the per-edge input score, [sum] the
+    per-destination accumulator name, [out] the normalized result. *)
+
+val rgcn : ?in_dim:int -> ?out_dim:int -> unit -> Hector_core.Inter_ir.program
+(** R-GCN layer: per-relation typed linear message, degree-normalized mean
+    aggregation ([1/c_{v,r}] arrives as a precomputed per-edge input
+    ["norm"]), self-loop weight [W₀], ReLU. *)
+
+val rgat : ?in_dim:int -> ?out_dim:int -> unit -> Hector_core.Inter_ir.program
+(** Single-headed R-GAT layer (Listing 1): [z_i]/[z_j] typed linears,
+    additive attention through a per-relation vector + leaky ReLU, edge
+    softmax, attention-weighted aggregation of [z_i]. *)
+
+val hgt : ?in_dim:int -> ?out_dim:int -> unit -> Hector_core.Inter_ir.program
+(** Single-headed HGT layer: per-node-type K/Q/V projections, per-relation
+    bilinear attention ([(K_τ(s))·W_a,r·(Q_τ(t))] scaled by 1/√d), edge
+    softmax, per-relation message linear, aggregation, ReLU. *)
+
+val rgat_multihead :
+  ?in_dim:int -> ?out_dim:int -> heads:int -> unit -> Hector_core.Inter_ir.program
+(** Multi-head RGAT by head unrolling: each head owns its weight matrix and
+    attention vector and produces [out_dim/heads] features; the output
+    concatenates the heads (Figure 2's [m] heads; the paper's evaluation
+    pins [m = 1]).  [heads] must divide [out_dim]. *)
+
+val hgt_multihead :
+  ?in_dim:int -> ?out_dim:int -> heads:int -> unit -> Hector_core.Inter_ir.program
+(** Multi-head HGT by head unrolling (per-head K/Q/V and per-relation
+    attention/message stacks, concatenated output).  [heads] must divide
+    [out_dim]. *)
+
+val rgcn_two_layer :
+  ?in_dim:int -> ?hidden_dim:int -> ?out_dim:int -> unit -> Hector_core.Inter_ir.program
+(** Two stacked R-GCN layers in a single program — the usual
+    entity-classification architecture.  Demonstrates that the IR composes:
+    the second layer's edge loop reads the node data the first layer
+    produced, and the whole stack compiles, fuses and differentiates like
+    any other program. *)
+
+val all : (string * (unit -> Hector_core.Inter_ir.program)) list
+(** [("rgcn", ...); ("rgat", ...); ("hgt", ...)] with default dims. *)
+
+val by_name : string -> ?in_dim:int -> ?out_dim:int -> unit -> Hector_core.Inter_ir.program
+(** Build by model name; raises [Invalid_argument] on unknown names. *)

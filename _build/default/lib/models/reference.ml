@@ -1,0 +1,117 @@
+module Tensor = Hector_tensor.Tensor
+module Hetgraph = Hector_graph.Hetgraph
+module G = Hector_graph.Hetgraph
+
+let leaky_slope = 0.01
+
+let row m i = Array.init (Tensor.cols m) (fun j -> Tensor.get2 m i j)
+
+let matvec_row x w =
+  (* x (k) · w (k×n) -> (n) *)
+  let k = Tensor.dim w 0 and n = Tensor.dim w 1 in
+  if Array.length x <> k then invalid_arg "Reference: dimension mismatch";
+  let out = Array.make n 0.0 in
+  for i = 0 to k - 1 do
+    for j = 0 to n - 1 do
+      out.(j) <- out.(j) +. (x.(i) *. Tensor.get2 w i j)
+    done
+  done;
+  out
+
+let dot a b =
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. (x *. b.(i))) a;
+  !acc
+
+let add_into dst src scale =
+  Array.iteri (fun i x -> dst.(i) <- dst.(i) +. (scale *. x)) src
+
+let of_rows rows =
+  Tensor.of_2d rows
+
+let edge_softmax (g : G.t) pre =
+  (* pre: float array per edge -> normalized attention per edge *)
+  let sums = Array.make g.G.num_nodes 0.0 in
+  let ex = Array.map Stdlib.exp pre in
+  Array.iteri (fun e v -> sums.(g.G.dst.(e)) <- sums.(g.G.dst.(e)) +. v) ex;
+  Array.mapi (fun e v -> v /. sums.(g.G.dst.(e))) ex
+
+let rgcn_raw ~act ~graph:(g : G.t) ~h ~norm ~w ~w0 =
+  let out = Array.init g.G.num_nodes (fun v -> matvec_row (row h v) (Tensor.slice0 w0 0)) in
+  for e = 0 to g.G.num_edges - 1 do
+    let msg = matvec_row (row h g.G.src.(e)) (Tensor.slice0 w g.G.etype.(e)) in
+    add_into out.(g.G.dst.(e)) msg (Tensor.get2 norm e 0)
+  done;
+  if act then of_rows (Array.map (Array.map (fun x -> if x > 0.0 then x else 0.0)) out)
+  else of_rows out
+
+let rgcn ~graph ~h ~norm ~w ~w0 = rgcn_raw ~act:true ~graph ~h ~norm ~w ~w0
+
+let rgcn_two_layer ~graph ~h ~norm ~w1 ~w01 ~w2 ~w02 =
+  let h1 = rgcn_raw ~act:true ~graph ~h ~norm ~w:w1 ~w0:w01 in
+  rgcn_raw ~act:false ~graph ~h:h1 ~norm ~w:w2 ~w0:w02
+
+let rgat ~graph:(g : G.t) ~h ~w ~att =
+  let zi = Array.init g.G.num_edges (fun e -> matvec_row (row h g.G.src.(e)) (Tensor.slice0 w g.G.etype.(e))) in
+  let zj = Array.init g.G.num_edges (fun e -> matvec_row (row h g.G.dst.(e)) (Tensor.slice0 w g.G.etype.(e))) in
+  let pre =
+    Array.init g.G.num_edges (fun e ->
+        let a = row att g.G.etype.(e) in
+        let s = dot a (Array.append zi.(e) zj.(e)) in
+        if s > 0.0 then s else leaky_slope *. s)
+  in
+  let attn = edge_softmax g pre in
+  let out_dim = Tensor.dim w 2 in
+  let out = Array.init g.G.num_nodes (fun _ -> Array.make out_dim 0.0) in
+  for e = 0 to g.G.num_edges - 1 do
+    add_into out.(g.G.dst.(e)) zi.(e) attn.(e)
+  done;
+  of_rows out
+
+let rgat_multihead ~graph ~h ~heads =
+  match List.map (fun (w, att) -> rgat ~graph ~h ~w ~att) heads with
+  | [] -> invalid_arg "Reference.rgat_multihead: no heads"
+  | first :: rest -> List.fold_left Tensor.concat_cols first rest
+
+(* one HGT head without the final activation *)
+let hgt_head ~graph:(g : G.t) ~h ~k ~q ~v ~wa ~wm =
+  let d = Tensor.dim k 2 in
+  let proj stack n = matvec_row (row h n) (Tensor.slice0 stack g.G.node_type.(n)) in
+  let kv = Array.init g.G.num_nodes (proj k) in
+  let qv = Array.init g.G.num_nodes (proj q) in
+  let vv = Array.init g.G.num_nodes (proj v) in
+  let kw = Array.init g.G.num_edges (fun e -> matvec_row kv.(g.G.src.(e)) (Tensor.slice0 wa g.G.etype.(e))) in
+  let m = Array.init g.G.num_edges (fun e -> matvec_row vv.(g.G.src.(e)) (Tensor.slice0 wm g.G.etype.(e))) in
+  let pre =
+    Array.init g.G.num_edges (fun e -> dot kw.(e) qv.(g.G.dst.(e)) /. sqrt (float_of_int d))
+  in
+  let attn = edge_softmax g pre in
+  let out = Array.init g.G.num_nodes (fun _ -> Array.make d 0.0) in
+  for e = 0 to g.G.num_edges - 1 do
+    add_into out.(g.G.dst.(e)) m.(e) attn.(e)
+  done;
+  of_rows out
+
+let hgt ~graph ~h ~k ~q ~v ~wa ~wm =
+  Tensor.relu (hgt_head ~graph ~h ~k ~q ~v ~wa ~wm)
+
+let hgt_multihead ~graph ~h ~heads =
+  match List.map (fun (k, q, v, wa, wm) -> hgt_head ~graph ~h ~k ~q ~v ~wa ~wm) heads with
+  | [] -> invalid_arg "Reference.hgt_multihead: no heads"
+  | first :: rest -> Tensor.relu (List.fold_left Tensor.concat_cols first rest)
+
+let need kind assoc name =
+  match List.assoc_opt name assoc with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Reference: missing %s %S" kind name)
+
+let by_name name ~graph ~inputs ~weights =
+  let input = need "input" inputs and weight = need "weight" weights in
+  match name with
+  | "rgcn" ->
+      rgcn ~graph ~h:(input "h") ~norm:(input "norm") ~w:(weight "W") ~w0:(weight "W0")
+  | "rgat" -> rgat ~graph ~h:(input "h") ~w:(weight "W") ~att:(weight "att")
+  | "hgt" ->
+      hgt ~graph ~h:(input "h") ~k:(weight "K") ~q:(weight "Q") ~v:(weight "V") ~wa:(weight "Wa")
+        ~wm:(weight "Wm")
+  | _ -> invalid_arg (Printf.sprintf "Reference.by_name: unknown model %S" name)

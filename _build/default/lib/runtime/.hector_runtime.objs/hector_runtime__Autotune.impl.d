@@ -1,0 +1,1 @@
+lib/runtime/autotune.ml: Array Hector_core Hector_gpu Hector_graph Hector_tensor List Printf Session

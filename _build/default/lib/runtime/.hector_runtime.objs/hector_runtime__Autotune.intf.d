@@ -1,0 +1,1 @@
+lib/runtime/autotune.mli: Hector_core Hector_gpu Hector_graph

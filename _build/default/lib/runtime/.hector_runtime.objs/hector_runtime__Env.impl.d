@@ -1,0 +1,1 @@
+lib/runtime/env.ml: Hashtbl Hector_core Hector_gpu Hector_tensor Printf

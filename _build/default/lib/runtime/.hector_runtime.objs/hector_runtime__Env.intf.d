@@ -1,0 +1,1 @@
+lib/runtime/env.mli: Hector_core Hector_gpu Hector_tensor

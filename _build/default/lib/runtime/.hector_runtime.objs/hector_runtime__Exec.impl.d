@@ -1,0 +1,1 @@
+lib/runtime/exec.ml: Array Env Float Format Graph_ctx Hashtbl Hector_core Hector_gpu Hector_graph Hector_tensor List Option Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/runtime/exec.mli: Env Graph_ctx Hector_core Hector_gpu Hector_tensor

@@ -1,0 +1,1 @@
+lib/runtime/graph_ctx.ml: Array Hector_core Hector_graph

@@ -1,0 +1,1 @@
+lib/runtime/graph_ctx.mli: Hector_core Hector_graph

@@ -1,0 +1,1 @@
+lib/runtime/minibatch.ml: Array Hector_core Hector_gpu Hector_graph Hector_tensor List Session Unix

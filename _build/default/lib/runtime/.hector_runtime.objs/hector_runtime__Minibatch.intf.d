@@ -1,0 +1,1 @@
+lib/runtime/minibatch.mli: Hector_core Hector_gpu Hector_graph Hector_tensor

@@ -1,0 +1,1 @@
+lib/runtime/session.mli: Exec Hector_core Hector_gpu Hector_graph Hector_tensor

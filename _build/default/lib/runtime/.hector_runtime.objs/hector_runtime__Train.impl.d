@@ -1,0 +1,1 @@
+lib/runtime/train.ml: Array Env Exec Graph_ctx Hector_core Hector_gpu Hector_graph Hector_tensor List Printf Stdlib

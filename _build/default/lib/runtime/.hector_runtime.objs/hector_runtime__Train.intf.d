@@ -1,0 +1,1 @@
+lib/runtime/train.mli: Exec Hector_core Hector_gpu Hector_tensor

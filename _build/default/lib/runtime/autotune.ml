@@ -1,0 +1,73 @@
+module Compiler = Hector_core.Compiler
+module Gs = Hector_core.Gemm_spec
+module Engine = Hector_gpu.Engine
+module Memory = Hector_gpu.Memory
+module Rng = Hector_tensor.Rng
+module G = Hector_graph.Hetgraph
+
+type candidate = { options : Compiler.options; time_ms : float }
+
+type result = { best : candidate; all : candidate list }
+
+let layout_candidates training =
+  List.map
+    (fun (compact, fusion) -> Compiler.options_of_flags ~training ~compact ~fusion ())
+    [ (false, false); (true, false); (false, true); (true, true) ]
+
+let schedule_candidates options =
+  List.concat_map
+    (fun tile_width ->
+      List.map
+        (fun coarsen ->
+          {
+            options with
+            Compiler.gemm_schedule = { Gs.tile_width; coarsen; launch_bounds = tile_width = 32 };
+          })
+        [ 1; 2 ])
+    [ 16; 32 ]
+  @ [ { options with Compiler.prefer_node_gather = true } ]
+
+let measure ?device ~training ~graph program options =
+  try
+    let compiled = Compiler.compile ~options program in
+    let session = Session.create ?device ~seed:11 ~graph compiled in
+    let epoch =
+      if training then (
+        let rng = Rng.create 3 in
+        let labels =
+          Array.init graph.G.num_nodes (fun _ -> Rng.int rng (Session.output_dim session))
+        in
+        fun () -> ignore (Session.train_step session ~labels ()))
+      else fun () -> ignore (Session.forward session)
+    in
+    epoch ();
+    Session.reset_clock session;
+    epoch ();
+    { options; time_ms = Engine.elapsed_ms (Session.engine session) }
+  with Memory.Out_of_memory _ -> { options; time_ms = infinity }
+
+let search ?device ?(training = false) ?(schedules = true) ~graph program =
+  let base = layout_candidates training in
+  let candidates =
+    if schedules then List.concat_map (fun o -> o :: schedule_candidates o) base else base
+  in
+  let evaluated = List.map (measure ?device ~training ~graph program) candidates in
+  let sorted = List.sort (fun a b -> compare a.time_ms b.time_ms) evaluated in
+  match sorted with
+  | best :: _ when best.time_ms < infinity -> { best; all = sorted }
+  | _ -> invalid_arg "Autotune.search: no configuration fits in device memory"
+
+let describe c =
+  let o = c.options in
+  let layout =
+    match (o.Compiler.layout.Hector_core.Layout.materialization, o.Compiler.linear_fusion) with
+    | Hector_core.Layout.Compact, true -> "C+F"
+    | Hector_core.Layout.Compact, false -> "C"
+    | Hector_core.Layout.Vanilla, true -> "F"
+    | Hector_core.Layout.Vanilla, false -> "U"
+  in
+  let sched = o.Compiler.gemm_schedule in
+  Printf.sprintf "%s, tile %d, coarsen %d%s%s: %s" layout sched.Gs.tile_width sched.Gs.coarsen
+    (if sched.Gs.launch_bounds then ", launch_bounds" else "")
+    (if o.Compiler.prefer_node_gather then ", node-gather" else "")
+    (if c.time_ms = infinity then "OOM" else Printf.sprintf "%.3f ms" c.time_ms)

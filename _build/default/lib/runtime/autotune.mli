@@ -1,0 +1,40 @@
+(** Automatic configuration selection (the paper's §6 first item, built
+    here as an extension).
+
+    §4.3 observes that the best combination of compact materialization and
+    linear-operator fusion "varies across models and/or datasets", and
+    quantifies the gap: picking per-input beats any fixed choice.  This
+    module searches the configuration space — layout (C), fusion (F), GEMM
+    schedule (tile width, coarsening, launch bounds) and traversal strategy
+    — by compiling each candidate and measuring one steady-state epoch on
+    the simulator, which is exactly the "consult the cost model per input
+    graph and architecture" loop the paper proposes.
+
+    The search is exhaustive over a small space (≤ 48 candidates) and
+    deterministic. *)
+
+type candidate = {
+  options : Hector_core.Compiler.options;
+  time_ms : float;  (** steady-state epoch; [infinity] when the candidate OOMs *)
+}
+
+type result = {
+  best : candidate;
+  all : candidate list;  (** every evaluated candidate, fastest first *)
+}
+
+val search :
+  ?device:Hector_gpu.Device.t ->
+  ?training:bool ->
+  ?schedules:bool ->
+  graph:Hector_graph.Hetgraph.t ->
+  Hector_core.Inter_ir.program ->
+  result
+(** Find the fastest configuration of a model on a graph.  [schedules]
+    (default [true]) includes the GEMM schedule knobs in the search;
+    setting it [false] searches only the four U/C/F/C+F configurations.
+    Raises [Invalid_argument] if no candidate completes. *)
+
+val describe : candidate -> string
+(** Human-readable one-liner, e.g.
+    ["C+F, tile 32, coarsen 2: 12.34 ms"]. *)

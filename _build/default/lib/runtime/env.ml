@@ -1,0 +1,55 @@
+module Tensor = Hector_tensor.Tensor
+
+type entry = {
+  tensor : Tensor.t;
+  space : Hector_core.Materialization.space;
+  dim : int;
+  alloc : Hector_gpu.Memory.allocation option;
+}
+
+type t = {
+  tensors : (string, entry) Hashtbl.t;
+  weights : (string, Tensor.t) Hashtbl.t;
+  grads : (string, Tensor.t) Hashtbl.t;
+}
+
+let create () =
+  { tensors = Hashtbl.create 32; weights = Hashtbl.create 16; grads = Hashtbl.create 16 }
+
+let add t ~name entry = Hashtbl.replace t.tensors name entry
+
+let find t name =
+  match Hashtbl.find_opt t.tensors name with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Env.find: no tensor %S" name)
+
+let find_opt t name = Hashtbl.find_opt t.tensors name
+
+let remove t name =
+  let e = Hashtbl.find_opt t.tensors name in
+  Hashtbl.remove t.tensors name;
+  e
+
+let add_weight t ~name w = Hashtbl.replace t.weights name w
+
+let weight t name =
+  match Hashtbl.find_opt t.weights name with
+  | Some w -> w
+  | None -> invalid_arg (Printf.sprintf "Env.weight: no weight %S" name)
+
+let weight_grad t name =
+  match Hashtbl.find_opt t.grads name with
+  | Some g -> g
+  | None ->
+      let w = weight t name in
+      let g = Tensor.zeros (Tensor.shape w) in
+      Hashtbl.replace t.grads name g;
+      g
+
+let weight_grad_opt t name = Hashtbl.find_opt t.grads name
+
+let weights t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.weights []
+
+let weight_grads t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.grads []
+
+let zero_weight_grads t = Hashtbl.iter (fun _ g -> Tensor.fill g 0.0) t.grads

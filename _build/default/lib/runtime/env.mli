@@ -1,0 +1,55 @@
+(** Runtime tensor environment.
+
+    Holds, by name: input features, materialized intermediate buffers (with
+    their row space) and typed-weight stacks with their gradients.  Weight
+    stacks are 3-D [\[|T; k; n|\]] for matrices and 2-D [\[|T; d|\]] for
+    vectors, where [T] is the slice count (1 for shared weights) — a single
+    copy, never replicated (§3.7.2). *)
+
+module Tensor = Hector_tensor.Tensor
+
+type entry = {
+  tensor : Tensor.t;
+  space : Hector_core.Materialization.space;
+  dim : int;
+  alloc : Hector_gpu.Memory.allocation option;  (** device accounting handle *)
+}
+
+type t
+(** Mutable environment. *)
+
+val create : unit -> t
+(** Empty environment. *)
+
+val add : t -> name:string -> entry -> unit
+(** Bind a tensor (replaces any previous binding). *)
+
+val find : t -> string -> entry
+(** Raises [Invalid_argument] naming the missing tensor. *)
+
+val find_opt : t -> string -> entry option
+(** Optional lookup. *)
+
+val remove : t -> string -> entry option
+(** Unbind and return the entry (for freeing). *)
+
+val add_weight : t -> name:string -> Tensor.t -> unit
+(** Bind a weight stack. *)
+
+val weight : t -> string -> Tensor.t
+(** Raises [Invalid_argument] when absent. *)
+
+val weight_grad : t -> string -> Tensor.t
+(** The gradient stack of a weight, created zeroed on first access. *)
+
+val weight_grad_opt : t -> string -> Tensor.t option
+(** The gradient stack if any backward pass touched it. *)
+
+val weights : t -> (string * Tensor.t) list
+(** All weight bindings. *)
+
+val weight_grads : t -> (string * Tensor.t) list
+(** All gradient stacks accumulated so far. *)
+
+val zero_weight_grads : t -> unit
+(** Reset all gradient stacks to zero (optimizer step boundary). *)

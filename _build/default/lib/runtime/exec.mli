@@ -1,0 +1,47 @@
+(** Plan execution on the simulated GPU.
+
+    Interprets a compiled {!Hector_core.Plan.t} against a graph and an
+    environment: every step both {e computes its result} on the CPU (so
+    outputs are bit-for-bit testable against reference models) and
+    {e charges} a kernel-launch descriptor to the engine (so simulated time
+    and memory reflect a paper-scale GPU run).
+
+    GEMM-template steps execute as fused gather→segment-MM→scatter kernels
+    (one launch each); traversal steps interpret their fused statement body
+    per edge or per node (one launch each); fallback steps interpret the
+    same semantics but are charged one launch and full operand
+    materialization per expression node, as the PyTorch path would. *)
+
+module Tensor = Hector_tensor.Tensor
+module Engine = Hector_gpu.Engine
+
+(** Row values flowing through traversal statements. *)
+type value = Scalar of float | Vector of float array
+
+type opaque_fn = value list -> value
+(** Implementation of an {!Hector_core.Inter_ir.expr.Opaque} operator. *)
+
+type t = {
+  engine : Engine.t;
+  ctx : Graph_ctx.t;
+  env : Env.t;
+  opaque : (string * opaque_fn) list;
+}
+
+val create :
+  ?opaque:(string * opaque_fn) list -> engine:Engine.t -> ctx:Graph_ctx.t -> env:Env.t -> unit -> t
+(** Bundle an execution state.  [opaque] registers fallback operator
+    implementations by name. *)
+
+val run_plan : ?free_temps:bool -> t -> Hector_core.Plan.t -> unit
+(** Execute all steps in order: allocate (and zero) the plan's buffers,
+    run every step, then free buffers marked [temp] (default [true]).
+    Raises [Hector_gpu.Memory.Out_of_memory] when a buffer does not fit at
+    paper scale, and [Invalid_argument] on malformed plans. *)
+
+val free_temp_buffers : t -> Hector_core.Plan.t -> unit
+(** Release the plan's [temp]-marked buffers (used by training drivers that
+    run forward with [~free_temps:false] and clean up after backward). *)
+
+val value_dim : value -> int
+(** 1 for scalars, the array length for vectors. *)

@@ -1,0 +1,48 @@
+(** Minibatch training over sampled blocks (paper §6, second item).
+
+    For graphs that do not fit in device memory, each step samples a k-hop
+    neighborhood block of a seed batch on the host, transfers its node
+    features over PCIe and runs a full forward/backward on the block.  The
+    simulator charges the transfer at the device's PCIe bandwidth and the
+    sampling at a host-time estimate, so the step breakdown shows the
+    data-movement bottleneck the paper's future-work section targets.
+
+    Weights persist across steps in a dedicated environment, so training
+    converges across blocks exactly as full-graph training does. *)
+
+type t
+(** Minibatch trainer state: compiled model + parent graph + persistent
+    parameters. *)
+
+type step_report = {
+  loss : float;
+  block_nodes : int;
+  block_edges : int;
+  sample_ms : float;  (** host-side sampling time *)
+  transfer_ms : float;  (** PCIe feature transfer *)
+  compute_ms : float;  (** forward + backward + optimizer on device *)
+}
+
+val create :
+  ?device:Hector_gpu.Device.t ->
+  ?seed:int ->
+  graph:Hector_graph.Hetgraph.t ->
+  features:Hector_tensor.Tensor.t ->
+  labels:int array ->
+  Hector_core.Compiler.compiled ->
+  t
+(** Set up a trainer: the parent graph stays on the host; [features] is the
+    full node-feature matrix, [labels] one class per parent node.  The
+    model must be compiled with [training = true] and declare exactly one
+    node input. *)
+
+val step : t -> ?lr:float -> ?fanout:int -> ?hops:int -> batch:int array -> unit -> step_report
+(** One minibatch step over the given seed batch (parent node ids). *)
+
+val train_epochs :
+  t -> ?lr:float -> ?fanout:int -> ?hops:int -> ?batch_size:int -> epochs:int -> unit -> float
+(** Convenience loop: random seed batches covering the node set each
+    epoch; returns the final mean loss. *)
+
+val weights : t -> (string * Hector_tensor.Tensor.t) list
+(** The persistent parameter stacks. *)

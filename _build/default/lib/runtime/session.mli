@@ -1,0 +1,69 @@
+(** User-facing runtime sessions.
+
+    A session binds a compiled model to a concrete graph on a simulated
+    device: it initializes parameters and inputs, executes forward passes
+    (inference) and full training steps (forward → NLL loss → generated
+    backward → SGD), and exposes the simulated clock, kernel statistics and
+    memory usage that the benchmark harness reports. *)
+
+module Tensor = Hector_tensor.Tensor
+module Engine = Hector_gpu.Engine
+
+type t
+
+val create :
+  ?device:Hector_gpu.Device.t ->
+  ?seed:int ->
+  ?trace:bool ->
+  ?node_inputs:(string * Tensor.t) list ->
+  ?edge_inputs:(string * Tensor.t) list ->
+  ?weights:(string * Tensor.t) list ->
+  graph:Hector_graph.Hetgraph.t ->
+  Hector_core.Compiler.compiled ->
+  t
+(** Build a session.  Parameters and inputs not supplied are generated:
+    weights with Glorot initialization sized from the declarations and the
+    graph's type counts (fusion-generated weights are computed, not
+    initialized); node inputs with standard-normal entries; the
+    conventional edge input ["norm"] with RGCN's [1/c_{v,r}]; other edge
+    inputs uniform.  Weight and input device memory is charged to the
+    engine (weights unscaled, features graph-proportional).  Raises
+    [Hector_gpu.Memory.Out_of_memory] if the inputs alone exceed device
+    memory at paper scale. *)
+
+val forward : t -> (string * Tensor.t) list
+(** Run one forward pass (inference); returns the program outputs (copies).
+    Temporaries are freed when the model was compiled for inference and
+    kept when compiled for training (the backward pass needs them). *)
+
+val loss_and_grads : t -> labels:int array -> float
+(** Forward, NLL loss, backward and fused-weight gradient chaining —
+    everything in {!train_step} except the SGD update — leaving the weight
+    gradients readable via {!weight_grads}.  Used by gradient-checking
+    tests and custom optimizers. *)
+
+val train_step : t -> ?lr:float -> labels:int array -> unit -> float
+(** One full training step: forward, NLL loss against [labels] (one class
+    index per node, in [\[0, out_dim)]), backward plan, fused-weight
+    gradient chaining, SGD update.  Returns the loss.  The model must have
+    been compiled with [training = true]. *)
+
+val exec : t -> Exec.t
+(** The underlying execution state (environment, context, engine). *)
+
+val engine : t -> Engine.t
+(** The simulated device engine (clock, stats, memory). *)
+
+val weights : t -> (string * Tensor.t) list
+(** Current parameter stacks (live references). *)
+
+val weight_grads : t -> (string * Tensor.t) list
+(** Gradient stacks accumulated by the last backward pass that has not yet
+    been consumed by SGD. *)
+
+val output_dim : t -> int
+(** Width of the (first) program output — the class count used for
+    labels. *)
+
+val reset_clock : t -> unit
+(** Zero the simulated clock and statistics (e.g. after warm-up). *)

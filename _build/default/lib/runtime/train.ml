@@ -1,0 +1,128 @@
+module Tensor = Hector_tensor.Tensor
+module Engine = Hector_gpu.Engine
+module Kernel = Hector_gpu.Kernel
+module Lf = Hector_core.Linear_fusion
+module Ir = Hector_core.Inter_ir
+module Mg = Hector_graph.Metagraph
+module G = Hector_graph.Hetgraph
+
+let nll_loss ~engine ~out ~labels =
+  let n = Tensor.rows out and c = Tensor.cols out in
+  if Array.length labels <> n then
+    invalid_arg (Printf.sprintf "nll_loss: %d labels for %d rows" (Array.length labels) n);
+  let grad = Tensor.zeros [| n; c |] in
+  let loss = ref 0.0 in
+  let inv_n = 1.0 /. float_of_int (max 1 n) in
+  for i = 0 to n - 1 do
+    let label = labels.(i) in
+    if label < 0 || label >= c then invalid_arg "nll_loss: label out of range";
+    (* stable log-softmax *)
+    let m = ref neg_infinity in
+    for j = 0 to c - 1 do
+      if Tensor.get2 out i j > !m then m := Tensor.get2 out i j
+    done;
+    let z = ref 0.0 in
+    for j = 0 to c - 1 do
+      z := !z +. Stdlib.exp (Tensor.get2 out i j -. !m)
+    done;
+    let logz = Stdlib.log !z +. !m in
+    loss := !loss -. ((Tensor.get2 out i label -. logz) *. inv_n);
+    for j = 0 to c - 1 do
+      let p = Stdlib.exp (Tensor.get2 out i j -. logz) in
+      Tensor.set2 grad i j (((if j = label then p -. 1.0 else p)) *. inv_n)
+    done
+  done;
+  let bytes = float_of_int (n * c * 4) in
+  Engine.launch engine
+    (Kernel.make ~name:"log_softmax" ~category:Kernel.Reduction
+       ~grid_blocks:(max 1 (n / 256))
+       ~flops:(float_of_int (n * c * 5))
+       ~bytes_coalesced:(2.0 *. bytes) ());
+  Engine.launch engine
+    (Kernel.make ~name:"nll_grad" ~category:Kernel.Reduction
+       ~grid_blocks:(max 1 (n / 256))
+       ~flops:(float_of_int (n * c))
+       ~bytes_coalesced:(2.0 *. bytes) ());
+  (!loss, grad)
+
+let backprop_weight_ops ~(exec : Exec.t) ops =
+  let env = exec.Exec.env in
+  let mg = exec.Exec.ctx.Graph_ctx.graph.G.metagraph in
+  (* process in reverse: later products may feed earlier ones in principle *)
+  List.iter
+    (fun op ->
+      match op with
+      | Lf.Mat_vec { mat; vec; half; out } -> (
+          match Env.weight_grad_opt env out with
+          | None -> ()
+          | Some dout ->
+              (* out[t] = W[t] · v[t]⟨half⟩ : dW[t] += dout[t] ⊗ v_half[t];
+                 dv_half[t] += W[t]ᵀ · dout[t] *)
+              let w = Env.weight env mat and v = Env.weight env vec in
+              let dw = Env.weight_grad env mat and dv = Env.weight_grad env vec in
+              let slices = Tensor.dim w 0 and k = Tensor.dim w 1 and n = Tensor.dim w 2 in
+              let offset = match half with `Left | `All -> 0 | `Right -> n in
+              for s = 0 to slices - 1 do
+                let ws = Tensor.slice0 w s and dws = Tensor.slice0 dw s in
+                for i = 0 to k - 1 do
+                  let gi = Tensor.get2 dout s i in
+                  if gi <> 0.0 then
+                    for j = 0 to n - 1 do
+                      Tensor.set2 dws i j
+                        (Tensor.get2 dws i j +. (gi *. Tensor.get2 v s (offset + j)));
+                      Tensor.set2 dv s (offset + j)
+                        (Tensor.get2 dv s (offset + j) +. (gi *. Tensor.get2 ws i j))
+                    done
+                done
+              done;
+              Engine.launch exec.Exec.engine
+                (Kernel.make ~name:("bmm_backward_" ^ out) ~category:Kernel.Gemm ~grid_blocks:64
+                   ~flops:(4.0 *. float_of_int (Tensor.numel w))
+                   ~bytes_coalesced:(float_of_int (Tensor.numel w * 4))
+                   ~graph_proportional:false ()))
+      | Lf.Mat_mat { left; left_slice; right; out } -> (
+          match Env.weight_grad_opt env out with
+          | None -> ()
+          | Some dout ->
+              (* out[r] = L[nt(r)] · R[r] : dL[nt(r)] += dout[r] · R[r]ᵀ;
+                 dR[r] += L[nt(r)]ᵀ · dout[r] *)
+              let l = Env.weight env left and r = Env.weight env right in
+              let dl = Env.weight_grad env left and dr = Env.weight_grad env right in
+              let slices = Tensor.dim r 0 in
+              for s = 0 to slices - 1 do
+                let nt =
+                  match left_slice with
+                  | Ir.By_src_ntype -> Mg.src_ntype mg s
+                  | Ir.By_dst_ntype -> Mg.dst_ntype mg s
+                  | Ir.By_ntype | Ir.By_etype -> s
+                  | Ir.Shared -> 0
+                in
+                let nt = min nt (Tensor.dim l 0 - 1) in
+                let douts = Tensor.slice0 dout s in
+                Tensor.matmul_into ~trans_b:true ~beta:1.0 douts (Tensor.slice0 r s)
+                  (Tensor.slice0 dl nt);
+                Tensor.matmul_into ~trans_a:true ~beta:1.0 (Tensor.slice0 l nt) douts
+                  (Tensor.slice0 dr s)
+              done;
+              Engine.launch exec.Exec.engine
+                (Kernel.make ~name:("bmm_backward_" ^ out) ~category:Kernel.Gemm ~grid_blocks:64
+                   ~flops:(4.0 *. float_of_int (Tensor.numel dout) *. float_of_int (Tensor.dim r 1))
+                   ~bytes_coalesced:(float_of_int (Tensor.numel r * 4))
+                   ~graph_proportional:false ())))
+    (List.rev ops)
+
+let sgd_step ?(skip = []) ~(exec : Exec.t) ~lr () =
+  let env = exec.Exec.env in
+  List.iter
+    (fun (name, grad) ->
+      if not (List.mem name skip) then begin
+        let w = Env.weight env name in
+        Tensor.axpy (-.lr) grad w;
+        Engine.launch exec.Exec.engine
+          (Kernel.make ~name:("sgd_" ^ name) ~category:Kernel.Reduction ~grid_blocks:32
+             ~flops:(float_of_int (Tensor.numel w))
+             ~bytes_coalesced:(float_of_int (Tensor.numel w * 8))
+             ~graph_proportional:false ())
+      end)
+    (Env.weight_grads env);
+  Env.zero_weight_grads env

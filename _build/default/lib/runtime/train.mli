@@ -1,0 +1,31 @@
+(** Training utilities: loss, optimizer and fused-weight gradient
+    back-propagation.
+
+    Mirrors the paper's training methodology (§4.1): a negative
+    log-likelihood loss against a (random) label tensor drives the
+    generated backward pass, followed by an SGD update.  The fused weights
+    produced by linear-operator fusion are recomputed every forward pass,
+    so their gradients are chained back into the original weights exactly
+    as PyTorch autograd would differentiate the [bmm()] the paper uses. *)
+
+module Tensor = Hector_tensor.Tensor
+
+val nll_loss :
+  engine:Hector_gpu.Engine.t -> out:Tensor.t -> labels:int array -> float * Tensor.t
+(** [nll_loss ~engine ~out ~labels] computes mean negative log-likelihood
+    of row-wise softmax([out]) against labels, returning the loss and the
+    gradient d(loss)/d(out).  Charges one reduction and one elementwise
+    kernel.  Labels must index valid columns. *)
+
+val backprop_weight_ops :
+  exec:Exec.t -> Hector_core.Linear_fusion.weight_op list -> unit
+(** Chain gradients of fused weights back to the original weights (the
+    backward of the prologue [bmm()]s).  No-op for weights whose gradients
+    were never touched. *)
+
+val sgd_step : ?skip:string list -> exec:Exec.t -> lr:float -> unit -> unit
+(** [w ← w - lr·dw] for every weight with an accumulated gradient, then
+    zero all gradients.  [skip] names weights that are not parameters
+    (fusion-generated stacks — their gradients flow to the originals via
+    {!backprop_weight_ops} instead).  Charges one elementwise kernel per
+    updated weight. *)

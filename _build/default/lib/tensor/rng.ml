@@ -1,0 +1,81 @@
+type t = { mutable state : int64 }
+
+let mix64 z =
+  (* splitmix64 finalizer; good avalanche for arbitrary integer seeds. *)
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  let s = mix64 (Int64.of_int (seed lxor 0x9e3779b9)) in
+  let s = if Int64.equal s 0L then 0x2545f4914f6cdd1dL else s in
+  { state = s }
+
+let next t =
+  (* xorshift64* *)
+  let x = t.state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.state <- x;
+  Int64.mul x 0x2545f4914f6cdd1dL
+
+let split t =
+  let s = mix64 (next t) in
+  let s = if Int64.equal s 0L then 0x9e3779b97f4a7c15L else s in
+  { state = s }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let x = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  x mod bound
+
+let uniform t =
+  (* 53 bits of mantissa out of the top of the state. *)
+  let x = Int64.to_int (Int64.shift_right_logical (next t) 11) in
+  float_of_int x /. 9007199254740992.0
+
+let float t bound = uniform t *. bound
+
+let gaussian t =
+  let rec draw () =
+    let u1 = uniform t in
+    if u1 <= 1e-12 then draw ()
+    else
+      let u2 = uniform t in
+      sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+  in
+  draw ()
+
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
+  (* Inverse CDF on the exact harmonic weights; n is small in practice
+     (types, buckets), so the linear scan is fine. *)
+  let total = ref 0.0 in
+  for i = 1 to n do
+    total := !total +. (1.0 /. (float_of_int i ** s))
+  done;
+  let target = uniform t *. !total in
+  let acc = ref 0.0 and result = ref (n - 1) in
+  (try
+     for i = 1 to n do
+       acc := !acc +. (1.0 /. (float_of_int i ** s));
+       if !acc >= target then begin
+         result := i - 1;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !result
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))

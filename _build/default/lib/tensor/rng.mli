@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generator.
+
+    A splittable xorshift64* generator used everywhere in the repository so
+    that dataset generation, weight initialization and property tests are
+    reproducible bit-for-bit across runs.  We deliberately avoid
+    [Stdlib.Random] to keep results independent of the OCaml runtime
+    version. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator.  Two generators created with the
+    same seed produce identical streams.  [seed] may be any integer; it is
+    hashed internally so small seeds are fine. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Useful to give each subsystem its own stream. *)
+
+val int : t -> int -> int
+(** [int t bound] draws a uniform integer in [\[0, bound)].  [bound] must be
+    positive. *)
+
+val float : t -> float -> float
+(** [float t bound] draws a uniform float in [\[0, bound)]. *)
+
+val uniform : t -> float
+(** [uniform t] draws a uniform float in [\[0, 1)]. *)
+
+val gaussian : t -> float
+(** [gaussian t] draws from the standard normal distribution
+    (Box-Muller). *)
+
+val zipf : t -> n:int -> s:float -> int
+(** [zipf t ~n ~s] draws from a Zipf distribution over [\[0, n)] with
+    exponent [s] (larger [s] = more skew), via inverse-CDF on a harmonic
+    prefix approximation.  Used to give synthetic graphs realistic skewed
+    degree and type distributions. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle t a] permutes [a] in place (Fisher-Yates). *)
+
+val choose : t -> 'a array -> 'a
+(** [choose t a] picks a uniform element of the non-empty array [a]. *)

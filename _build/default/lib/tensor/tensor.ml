@@ -1,0 +1,411 @@
+type t = { shape : int array; offset : int; data : float array }
+
+exception Shape_error of string
+
+let shape_error fmt = Format.kasprintf (fun s -> raise (Shape_error s)) fmt
+
+let product a = Array.fold_left ( * ) 1 a
+
+let check_shape shape =
+  Array.iter (fun d -> if d < 0 then shape_error "negative dimension in shape") shape
+
+let create shape =
+  check_shape shape;
+  { shape = Array.copy shape; offset = 0; data = Array.make (product shape) 0.0 }
+
+let zeros = create
+
+let full shape v =
+  check_shape shape;
+  { shape = Array.copy shape; offset = 0; data = Array.make (product shape) v }
+
+let ones shape = full shape 1.0
+
+let numel t = product t.shape
+
+let shape t = Array.copy t.shape
+
+let ndim t = Array.length t.shape
+
+let dim t i =
+  if i < 0 || i >= Array.length t.shape then shape_error "dim %d out of rank %d" i (Array.length t.shape);
+  t.shape.(i)
+
+let rows t = if ndim t <> 2 then shape_error "rows: tensor is %d-D, not 2-D" (ndim t) else t.shape.(0)
+let cols t = if ndim t <> 2 then shape_error "cols: tensor is %d-D, not 2-D" (ndim t) else t.shape.(1)
+
+let flat_index t idx =
+  let n = Array.length t.shape in
+  if Array.length idx <> n then shape_error "index rank %d vs tensor rank %d" (Array.length idx) n;
+  let off = ref t.offset and stride = ref 1 in
+  for i = n - 1 downto 0 do
+    if idx.(i) < 0 || idx.(i) >= t.shape.(i) then
+      shape_error "index %d out of bound %d in dim %d" idx.(i) t.shape.(i) i;
+    off := !off + (idx.(i) * !stride);
+    stride := !stride * t.shape.(i)
+  done;
+  !off
+
+let get t idx = t.data.(flat_index t idx)
+let set t idx v = t.data.(flat_index t idx) <- v
+
+let get1 t i = t.data.(t.offset + i)
+let set1 t i v = t.data.(t.offset + i) <- v
+
+let get2 t i j = t.data.(t.offset + (i * t.shape.(1)) + j)
+let set2 t i j v = t.data.(t.offset + (i * t.shape.(1)) + j) <- v
+
+let item t =
+  if numel t <> 1 then shape_error "item: tensor has %d elements" (numel t);
+  t.data.(t.offset)
+
+let init shape f =
+  check_shape shape;
+  let t = create shape in
+  let n = Array.length shape in
+  let idx = Array.make n 0 in
+  let total = numel t in
+  let pos = ref 0 in
+  while !pos < total do
+    t.data.(t.offset + !pos) <- f idx;
+    incr pos;
+    (* advance multi-index *)
+    let i = ref (n - 1) in
+    let carry = ref true in
+    while !carry && !i >= 0 do
+      idx.(!i) <- idx.(!i) + 1;
+      if idx.(!i) >= shape.(!i) then begin
+        idx.(!i) <- 0;
+        decr i
+      end
+      else carry := false
+    done
+  done;
+  t
+
+let scalar v = full [||] v
+
+let of_array shape data =
+  check_shape shape;
+  if Array.length data <> product shape then
+    shape_error "of_array: %d elements vs shape product %d" (Array.length data) (product shape);
+  { shape = Array.copy shape; offset = 0; data = Array.copy data }
+
+let of_2d rows_arr =
+  let r = Array.length rows_arr in
+  let c = if r = 0 then 0 else Array.length rows_arr.(0) in
+  Array.iter
+    (fun row -> if Array.length row <> c then shape_error "of_2d: ragged rows")
+    rows_arr;
+  let t = create [| r; c |] in
+  for i = 0 to r - 1 do
+    Array.blit rows_arr.(i) 0 t.data (i * c) c
+  done;
+  t
+
+let randn rng shape =
+  let t = create shape in
+  for i = 0 to numel t - 1 do
+    t.data.(i) <- Rng.gaussian rng
+  done;
+  t
+
+let glorot rng shape =
+  let n = Array.length shape in
+  if n < 2 then shape_error "glorot: need at least 2 dimensions";
+  let fan_in = shape.(n - 2) and fan_out = shape.(n - 1) in
+  let limit = sqrt (6.0 /. float_of_int (fan_in + fan_out)) in
+  let t = create shape in
+  for i = 0 to numel t - 1 do
+    t.data.(i) <- (Rng.uniform rng *. 2.0 *. limit) -. limit
+  done;
+  t
+
+let is_view t = t.offset <> 0 || Array.length t.data <> numel t
+
+let to_flat_array t =
+  Array.sub t.data t.offset (numel t)
+
+let copy t = { shape = Array.copy t.shape; offset = 0; data = to_flat_array t }
+
+let reshape t shape' =
+  check_shape shape';
+  if product shape' <> numel t then
+    shape_error "reshape: %d elements vs %d" (numel t) (product shape');
+  if is_view t then { shape = Array.copy shape'; offset = 0; data = to_flat_array t }
+  else { t with shape = Array.copy shape' }
+
+let slice0 t i =
+  if ndim t < 1 then shape_error "slice0: rank-0 tensor";
+  if i < 0 || i >= t.shape.(0) then shape_error "slice0: index %d out of %d" i t.shape.(0);
+  let sub_shape = Array.sub t.shape 1 (ndim t - 1) in
+  let sz = product sub_shape in
+  { shape = sub_shape; offset = t.offset + (i * sz); data = t.data }
+
+let row m i =
+  if ndim m <> 2 then shape_error "row: not a matrix";
+  if i < 0 || i >= m.shape.(0) then shape_error "row: index %d out of %d" i m.shape.(0);
+  { shape = [| m.shape.(1) |]; offset = m.offset + (i * m.shape.(1)); data = m.data }
+
+let sub_rows m start len =
+  if ndim m <> 2 then shape_error "sub_rows: not a matrix";
+  if start < 0 || len < 0 || start + len > m.shape.(0) then
+    shape_error "sub_rows: [%d, %d) out of %d rows" start (start + len) m.shape.(0);
+  { shape = [| len; m.shape.(1) |]; offset = m.offset + (start * m.shape.(1)); data = m.data }
+
+let to_2d m =
+  if ndim m <> 2 then shape_error "to_2d: not a matrix";
+  Array.init m.shape.(0) (fun i ->
+      Array.sub m.data (m.offset + (i * m.shape.(1))) m.shape.(1))
+
+let same_shape a b = a.shape = b.shape
+
+let map f t =
+  let n = numel t in
+  let out = create t.shape in
+  for i = 0 to n - 1 do
+    out.data.(i) <- f t.data.(t.offset + i)
+  done;
+  out
+
+let map2 f a b =
+  if not (same_shape a b) then shape_error "map2: shape mismatch";
+  let n = numel a in
+  let out = create a.shape in
+  for i = 0 to n - 1 do
+    out.data.(i) <- f a.data.(a.offset + i) b.data.(b.offset + i)
+  done;
+  out
+
+let add a b = map2 ( +. ) a b
+let sub a b = map2 ( -. ) a b
+let mul a b = map2 ( *. ) a b
+let div a b = map2 ( /. ) a b
+let scale k t = map (fun x -> k *. x) t
+
+let add_inplace dst src =
+  if not (same_shape dst src) then shape_error "add_inplace: shape mismatch";
+  for i = 0 to numel dst - 1 do
+    dst.data.(dst.offset + i) <- dst.data.(dst.offset + i) +. src.data.(src.offset + i)
+  done
+
+let axpy a x y =
+  if not (same_shape x y) then shape_error "axpy: shape mismatch";
+  for i = 0 to numel x - 1 do
+    y.data.(y.offset + i) <- y.data.(y.offset + i) +. (a *. x.data.(x.offset + i))
+  done
+
+let fill t v = Array.fill t.data t.offset (numel t) v
+
+let exp t = map Stdlib.exp t
+
+let leaky_relu ?(slope = 0.01) t = map (fun x -> if x > 0.0 then x else slope *. x) t
+
+let relu t = map (fun x -> if x > 0.0 then x else 0.0) t
+
+let matmul_into ?(trans_a = false) ?(trans_b = false) ?(beta = 0.0) a b c =
+  if ndim a <> 2 || ndim b <> 2 || ndim c <> 2 then shape_error "matmul: operands must be 2-D";
+  let am, ak = if trans_a then (a.shape.(1), a.shape.(0)) else (a.shape.(0), a.shape.(1)) in
+  let bk, bn = if trans_b then (b.shape.(1), b.shape.(0)) else (b.shape.(0), b.shape.(1)) in
+  if ak <> bk then shape_error "matmul: inner dims %d vs %d" ak bk;
+  if c.shape.(0) <> am || c.shape.(1) <> bn then
+    shape_error "matmul: output %dx%d vs expected %dx%d" c.shape.(0) c.shape.(1) am bn;
+  if beta = 0.0 then fill c 0.0 else if beta <> 1.0 then
+    for i = 0 to numel c - 1 do
+      c.data.(c.offset + i) <- beta *. c.data.(c.offset + i)
+    done;
+  let acols = a.shape.(1) and bcols = b.shape.(1) and ccols = c.shape.(1) in
+  (* i-k-j loop order for locality on the common (no-transpose) path *)
+  for i = 0 to am - 1 do
+    let crow = c.offset + (i * ccols) in
+    for k = 0 to ak - 1 do
+      let aik =
+        if trans_a then a.data.(a.offset + (k * acols) + i)
+        else a.data.(a.offset + (i * acols) + k)
+      in
+      if aik <> 0.0 then
+        if trans_b then
+          for j = 0 to bn - 1 do
+            c.data.(crow + j) <- c.data.(crow + j) +. (aik *. b.data.(b.offset + (j * bcols) + k))
+          done
+        else
+          let brow = b.offset + (k * bcols) in
+          for j = 0 to bn - 1 do
+            c.data.(crow + j) <- c.data.(crow + j) +. (aik *. b.data.(brow + j))
+          done
+    done
+  done
+
+let matmul ?(trans_a = false) ?(trans_b = false) a b =
+  let am = if trans_a then a.shape.(1) else a.shape.(0) in
+  let bn = if trans_b then b.shape.(0) else b.shape.(1) in
+  let c = create [| am; bn |] in
+  matmul_into ~trans_a ~trans_b a b c;
+  c
+
+let dot a b =
+  if numel a <> numel b then shape_error "dot: %d vs %d elements" (numel a) (numel b);
+  let acc = ref 0.0 in
+  for i = 0 to numel a - 1 do
+    acc := !acc +. (a.data.(a.offset + i) *. b.data.(b.offset + i))
+  done;
+  !acc
+
+let outer a b =
+  if ndim a <> 1 || ndim b <> 1 then shape_error "outer: operands must be 1-D";
+  let m = a.shape.(0) and n = b.shape.(0) in
+  let c = create [| m; n |] in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      c.data.((i * n) + j) <- a.data.(a.offset + i) *. b.data.(b.offset + j)
+    done
+  done;
+  c
+
+let sum t =
+  let acc = ref 0.0 in
+  for i = 0 to numel t - 1 do
+    acc := !acc +. t.data.(t.offset + i)
+  done;
+  !acc
+
+let mean t =
+  let n = numel t in
+  if n = 0 then shape_error "mean: empty tensor";
+  sum t /. float_of_int n
+
+let max_value t =
+  if numel t = 0 then shape_error "max_value: empty tensor";
+  let acc = ref t.data.(t.offset) in
+  for i = 1 to numel t - 1 do
+    if t.data.(t.offset + i) > !acc then acc := t.data.(t.offset + i)
+  done;
+  !acc
+
+let sum_rows m =
+  let r = rows m and c = cols m in
+  let out = create [| c |] in
+  for i = 0 to r - 1 do
+    let base = m.offset + (i * c) in
+    for j = 0 to c - 1 do
+      out.data.(j) <- out.data.(j) +. m.data.(base + j)
+    done
+  done;
+  out
+
+let sum_cols m =
+  let r = rows m and c = cols m in
+  let out = create [| r |] in
+  for i = 0 to r - 1 do
+    let base = m.offset + (i * c) in
+    let acc = ref 0.0 in
+    for j = 0 to c - 1 do
+      acc := !acc +. m.data.(base + j)
+    done;
+    out.data.(i) <- !acc
+  done;
+  out
+
+let argmax_rows m =
+  let r = rows m and c = cols m in
+  if c = 0 then shape_error "argmax_rows: zero columns";
+  Array.init r (fun i ->
+      let base = m.offset + (i * c) in
+      let best = ref 0 in
+      for j = 1 to c - 1 do
+        if m.data.(base + j) > m.data.(base + !best) then best := j
+      done;
+      !best)
+
+let gather_rows m idx =
+  let c = cols m in
+  let out = create [| Array.length idx; c |] in
+  Array.iteri
+    (fun i src_row ->
+      if src_row < 0 || src_row >= rows m then
+        shape_error "gather_rows: row %d out of %d" src_row (rows m);
+      Array.blit m.data (m.offset + (src_row * c)) out.data (i * c) c)
+    idx;
+  out
+
+let scatter_rows_set ~into idx src =
+  let c = cols into in
+  if cols src <> c then shape_error "scatter_rows_set: column mismatch";
+  if rows src <> Array.length idx then shape_error "scatter_rows_set: row/index mismatch";
+  Array.iteri
+    (fun i dst_row ->
+      if dst_row < 0 || dst_row >= rows into then
+        shape_error "scatter_rows_set: row %d out of %d" dst_row (rows into);
+      Array.blit src.data (src.offset + (i * c)) into.data (into.offset + (dst_row * c)) c)
+    idx
+
+let scatter_rows_add ~into idx src =
+  let c = cols into in
+  if cols src <> c then shape_error "scatter_rows_add: column mismatch";
+  if rows src <> Array.length idx then shape_error "scatter_rows_add: row/index mismatch";
+  Array.iteri
+    (fun i dst_row ->
+      if dst_row < 0 || dst_row >= rows into then
+        shape_error "scatter_rows_add: row %d out of %d" dst_row (rows into);
+      let sbase = src.offset + (i * c) and dbase = into.offset + (dst_row * c) in
+      for j = 0 to c - 1 do
+        into.data.(dbase + j) <- into.data.(dbase + j) +. src.data.(sbase + j)
+      done)
+    idx
+
+let concat_cols a b =
+  let r = rows a in
+  if rows b <> r then shape_error "concat_cols: %d vs %d rows" r (rows b);
+  let ca = cols a and cb = cols b in
+  let out = create [| r; ca + cb |] in
+  for i = 0 to r - 1 do
+    Array.blit a.data (a.offset + (i * ca)) out.data (i * (ca + cb)) ca;
+    Array.blit b.data (b.offset + (i * cb)) out.data ((i * (ca + cb)) + ca) cb
+  done;
+  out
+
+let split_cols m k =
+  let r = rows m and c = cols m in
+  if k < 0 || k > c then shape_error "split_cols: %d out of %d columns" k c;
+  let a = create [| r; k |] and b = create [| r; c - k |] in
+  for i = 0 to r - 1 do
+    Array.blit m.data (m.offset + (i * c)) a.data (i * k) k;
+    Array.blit m.data (m.offset + (i * c) + k) b.data (i * (c - k)) (c - k)
+  done;
+  (a, b)
+
+let max_abs_diff a b =
+  if not (same_shape a b) then shape_error "max_abs_diff: shape mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to numel a - 1 do
+    let d = Float.abs (a.data.(a.offset + i) -. b.data.(b.offset + i)) in
+    if d > !acc then acc := d
+  done;
+  !acc
+
+let approx_equal ?(tol = 1e-4) a b =
+  same_shape a b
+  &&
+  let ok = ref true in
+  (try
+     for i = 0 to numel a - 1 do
+       let x = a.data.(a.offset + i) and y = b.data.(b.offset + i) in
+       let scale_ref = Float.max 1.0 (Float.max (Float.abs x) (Float.abs y)) in
+       if Float.abs (x -. y) > tol *. scale_ref then begin
+         ok := false;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !ok
+
+let pp fmt t =
+  let n = numel t in
+  Format.fprintf fmt "tensor[%s](" (String.concat "x" (Array.to_list (Array.map string_of_int t.shape)));
+  let shown = min n 8 in
+  for i = 0 to shown - 1 do
+    if i > 0 then Format.fprintf fmt ", ";
+    Format.fprintf fmt "%g" t.data.(t.offset + i)
+  done;
+  if n > shown then Format.fprintf fmt ", ...";
+  Format.fprintf fmt ")"

@@ -1,0 +1,231 @@
+(** Dense row-major float tensors.
+
+    This is the data substrate of the whole repository: node/edge feature
+    matrices, typed weight stacks, gradients and intermediates are all values
+    of {!t}.  Tensors are contiguous row-major buffers of [float] with an
+    explicit shape; a tensor may be a zero-copy {e view} into a larger buffer
+    (see {!slice0}), which is how Hector passes typed-weight slices around
+    without replicating them — the design point of §3.7.2 of the paper.
+
+    Unless stated otherwise, operations allocate a fresh result; functions
+    with an [_inplace] suffix (or taking [~into]) mutate. *)
+
+type t
+(** A dense tensor: shape + underlying buffer (+ offset when a view). *)
+
+exception Shape_error of string
+(** Raised when operand shapes are incompatible. *)
+
+(** {1 Construction} *)
+
+val create : int array -> t
+(** [create shape] is a zero-filled tensor of the given shape.  Every
+    dimension must be non-negative. *)
+
+val zeros : int array -> t
+(** Synonym of {!create}. *)
+
+val ones : int array -> t
+(** All-ones tensor. *)
+
+val full : int array -> float -> t
+(** [full shape v] fills with [v]. *)
+
+val init : int array -> (int array -> float) -> t
+(** [init shape f] fills position [idx] with [f idx]. *)
+
+val scalar : float -> t
+(** Rank-0 tensor holding one number. *)
+
+val of_array : int array -> float array -> t
+(** [of_array shape data] wraps a copy of [data]; [Array.length data] must
+    equal the number of elements implied by [shape]. *)
+
+val of_2d : float array array -> t
+(** Build a matrix from rows (all rows must have equal length). *)
+
+val randn : Rng.t -> int array -> t
+(** Standard-normal entries drawn from the given generator. *)
+
+val glorot : Rng.t -> int array -> t
+(** Glorot/Xavier-uniform initialization using the last two dimensions as
+    fan-in/fan-out — the usual initialization for GNN weights. *)
+
+(** {1 Inspection} *)
+
+val shape : t -> int array
+(** The shape (a fresh copy; safe to mutate). *)
+
+val ndim : t -> int
+(** Number of dimensions. *)
+
+val dim : t -> int -> int
+(** [dim t i] is the size of dimension [i]. *)
+
+val numel : t -> int
+(** Total number of elements. *)
+
+val rows : t -> int
+(** First dimension of a matrix.  Raises {!Shape_error} if not 2-D. *)
+
+val cols : t -> int
+(** Second dimension of a matrix.  Raises {!Shape_error} if not 2-D. *)
+
+val get : t -> int array -> float
+(** Multi-index read (bounds-checked). *)
+
+val set : t -> int array -> float -> unit
+(** Multi-index write (bounds-checked). *)
+
+val get1 : t -> int -> float
+(** Fast 1-D read. *)
+
+val set1 : t -> int -> float -> unit
+(** Fast 1-D write. *)
+
+val get2 : t -> int -> int -> float
+(** Fast 2-D read. *)
+
+val set2 : t -> int -> int -> float -> unit
+(** Fast 2-D write. *)
+
+val item : t -> float
+(** The single element of a one-element tensor. *)
+
+val to_flat_array : t -> float array
+(** Copy out the elements in row-major order. *)
+
+val to_2d : t -> float array array
+(** Copy a matrix out as rows. *)
+
+(** {1 Views and reshaping} *)
+
+val reshape : t -> int array -> t
+(** Same elements, new shape (zero-copy for non-view tensors; copies when the
+    tensor is a view).  Element count must be preserved. *)
+
+val copy : t -> t
+(** Deep copy (materializes views). *)
+
+val slice0 : t -> int -> t
+(** [slice0 t i] is a {e zero-copy view} of the [i]-th slice along the first
+    dimension: for a [\[|T; K; N|\]] weight stack it is the [K×N] matrix of
+    type [i].  Mutating the view mutates the parent. *)
+
+val row : t -> int -> t
+(** [row m i] is a zero-copy 1-D view of row [i] of matrix [m]. *)
+
+val sub_rows : t -> int -> int -> t
+(** [sub_rows m start len] is a zero-copy view of rows
+    [start .. start+len-1] of matrix [m] — the segment primitive behind
+    segment-MM. *)
+
+(** {1 Elementwise} *)
+
+val map : (float -> float) -> t -> t
+(** Apply a function to every element. *)
+
+val map2 : (float -> float -> float) -> t -> t -> t
+(** Pointwise combination; shapes must match exactly. *)
+
+val add : t -> t -> t
+(** Pointwise sum. *)
+
+val sub : t -> t -> t
+(** Pointwise difference. *)
+
+val mul : t -> t -> t
+(** Pointwise (Hadamard) product. *)
+
+val div : t -> t -> t
+(** Pointwise quotient. *)
+
+val scale : float -> t -> t
+(** Multiply every element by a scalar. *)
+
+val add_inplace : t -> t -> unit
+(** [add_inplace dst src] accumulates [src] into [dst]. *)
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] performs [y := a*x + y] (shapes must match). *)
+
+val fill : t -> float -> unit
+(** Overwrite every element. *)
+
+val exp : t -> t
+(** Pointwise exponential. *)
+
+val leaky_relu : ?slope:float -> t -> t
+(** Pointwise leaky ReLU (default slope 0.01) — the RGAT attention
+    nonlinearity. *)
+
+val relu : t -> t
+(** Pointwise ReLU. *)
+
+(** {1 Linear algebra} *)
+
+val matmul : ?trans_a:bool -> ?trans_b:bool -> t -> t -> t
+(** [matmul a b] is the matrix product of two 2-D tensors, optionally
+    transposing either operand logically (no materialized transpose). *)
+
+val matmul_into : ?trans_a:bool -> ?trans_b:bool -> ?beta:float -> t -> t -> t -> unit
+(** [matmul_into a b c] computes [c := a*b + beta*c] (default [beta = 0]). *)
+
+val dot : t -> t -> float
+(** Inner product of two same-shape tensors viewed as flat vectors. *)
+
+val outer : t -> t -> t
+(** Outer product of two 1-D tensors. *)
+
+(** {1 Reductions} *)
+
+val sum : t -> float
+(** Sum of all elements. *)
+
+val mean : t -> float
+(** Mean of all elements. *)
+
+val max_value : t -> float
+(** Maximum element (raises {!Shape_error} on empty tensors). *)
+
+val sum_rows : t -> t
+(** Column-wise sum of a matrix: [\[|r; c|\]] → [\[|c|\]]. *)
+
+val sum_cols : t -> t
+(** Row-wise sum of a matrix: [\[|r; c|\]] → [\[|r|\]]. *)
+
+val argmax_rows : t -> int array
+(** Per-row argmax of a matrix — used for predictions. *)
+
+(** {1 Gather / scatter (the access-scheme primitives)} *)
+
+val gather_rows : t -> int array -> t
+(** [gather_rows m idx] is the matrix whose [i]-th row is row [idx.(i)] of
+    [m] — step ① of Figure 4. *)
+
+val scatter_rows_set : into:t -> int array -> t -> unit
+(** [scatter_rows_set ~into idx src] writes row [i] of [src] to row
+    [idx.(i)] of [into] — step ③ of Figure 4, non-accumulating. *)
+
+val scatter_rows_add : into:t -> int array -> t -> unit
+(** Accumulating scatter (the atomic-update analogue). *)
+
+val concat_cols : t -> t -> t
+(** [concat_cols a b] concatenates two matrices with equal row counts along
+    the feature dimension — the [\[s;t\]] of Figure 2. *)
+
+val split_cols : t -> int -> t * t
+(** [split_cols m k] splits a matrix into its first [k] and remaining
+    columns (inverse of {!concat_cols}). *)
+
+(** {1 Comparison and printing} *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Shape equality plus max-abs-difference below [tol] (default 1e-4),
+    where the difference is relative for large magnitudes. *)
+
+val max_abs_diff : t -> t -> float
+(** Largest absolute elementwise difference (shapes must match). *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer (shape + a few leading elements). *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Hector_baselines Hector_graph List Printf

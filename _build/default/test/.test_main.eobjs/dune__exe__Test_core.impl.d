@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Hector_core Hector_models List String

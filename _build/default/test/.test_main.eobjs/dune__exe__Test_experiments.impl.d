@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Filename Float Hector_baselines Hector_core Hector_experiments Hector_graph Hector_models Hector_runtime Lazy List Printf String Unix

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Hector_core Hector_graph Hector_models Hector_runtime Hector_tensor Lazy List String

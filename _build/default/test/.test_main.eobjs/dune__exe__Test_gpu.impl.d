@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Float Hector_gpu List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float Format Hector_graph List Printf QCheck QCheck_alcotest

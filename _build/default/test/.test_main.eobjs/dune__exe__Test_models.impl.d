@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Array Hector_core Hector_graph Hector_models Hector_runtime Hector_tensor List Printf QCheck QCheck_alcotest String

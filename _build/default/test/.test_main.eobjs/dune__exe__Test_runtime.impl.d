@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Float Hector_core Hector_gpu Hector_graph Hector_models Hector_runtime Hector_tensor List Option Printf String

@@ -1,0 +1,1 @@
+test/test_sampler.ml: Alcotest Array Float Hector_core Hector_graph Hector_models Hector_runtime Hector_tensor Lazy Printf QCheck QCheck_alcotest

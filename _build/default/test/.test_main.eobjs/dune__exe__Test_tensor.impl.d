@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Float Format Hector_tensor QCheck QCheck_alcotest Stdlib

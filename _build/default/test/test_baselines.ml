@@ -1,0 +1,148 @@
+(* Tests for the baseline behavioural models. *)
+
+module B = Hector_baselines.Baselines
+module Gen = Hector_graph.Generator
+module Ds = Hector_graph.Datasets
+
+let check_bool = Alcotest.(check bool)
+
+let small_graph ?(num_etypes = 6) ?(scale = 1.0) () =
+  Gen.generate
+    {
+      Gen.name = "t";
+      num_ntypes = 3;
+      num_etypes;
+      num_nodes = 200;
+      num_edges = 800;
+      compaction_target = 0.5;
+      scale;
+      seed = 3;
+    }
+
+let time_of = function B.Time { ms; _ } -> Some ms | _ -> None
+
+let test_support_matrix () =
+  let graph = small_graph () in
+  let expect_supported system model training expected =
+    let outcome = B.run system ~model ~training ~graph in
+    let supported = match outcome with B.Unsupported _ -> false | _ -> true in
+    check_bool
+      (Printf.sprintf "%s/%s/%s" (B.system_name system) model
+         (if training then "train" else "infer"))
+      expected supported
+  in
+  List.iter
+    (fun model ->
+      expect_supported B.Dgl model false true;
+      expect_supported B.Dgl model true true;
+      expect_supported B.Pyg model false true;
+      expect_supported B.Seastar model true true;
+      (* Graphiler: inference only *)
+      expect_supported B.Graphiler model false true;
+      expect_supported B.Graphiler model true false)
+    [ "rgcn"; "rgat"; "hgt" ];
+  (* HGL: training only, no HGT *)
+  expect_supported B.Hgl "rgcn" false false;
+  expect_supported B.Hgl "rgcn" true true;
+  expect_supported B.Hgl "rgat" true true;
+  expect_supported B.Hgl "hgt" true false
+
+let test_times_positive () =
+  let graph = small_graph () in
+  List.iter
+    (fun system ->
+      List.iter
+        (fun model ->
+          match B.run system ~model ~training:false ~graph with
+          | B.Time { ms; peak_gb; _ } ->
+              check_bool "positive time" true (ms > 0.0);
+              check_bool "positive memory" true (peak_gb > 0.0)
+          | B.Oom -> Alcotest.fail "unexpected OOM on small graph"
+          | B.Unsupported _ -> ())
+        [ "rgcn"; "rgat"; "hgt" ])
+    B.all_systems
+
+let test_training_costs_more () =
+  let graph = small_graph ~scale:100.0 () in
+  List.iter
+    (fun system ->
+      match
+        ( time_of (B.run system ~model:"rgcn" ~training:false ~graph),
+          time_of (B.run system ~model:"rgcn" ~training:true ~graph) )
+      with
+      | Some infer, Some train ->
+          check_bool (B.system_name system ^ " training slower") true (train > infer)
+      | _ -> ())
+    [ B.Dgl; B.Pyg; B.Seastar ]
+
+let test_relation_count_hurts_loop_systems () =
+  (* same size, more relations: the per-relation Python loops pay for it *)
+  let few = small_graph ~num_etypes:4 () in
+  let many = small_graph ~num_etypes:100 () in
+  match
+    ( time_of (B.run B.Dgl ~model:"rgat" ~training:false ~graph:few),
+      time_of (B.run B.Dgl ~model:"rgat" ~training:false ~graph:many) )
+  with
+  | Some t_few, Some t_many ->
+      check_bool
+        (Printf.sprintf "many relations slower (%.2f vs %.2f)" t_few t_many)
+        true
+        (t_many > 2.0 *. t_few)
+  | _ -> Alcotest.fail "DGL RGAT should run"
+
+let test_pyg_falls_back_when_fast_ooms () =
+  (* FastRGCNConv's replicated weight cannot fit a mag-scale graph, but the
+     per-relation RGCNConv can: PyG reports the best runnable variant *)
+  let graph = Ds.load ~max_nodes:500 ~max_edges:1500 (Ds.find "mag") in
+  match B.run B.Pyg ~model:"rgcn" ~training:false ~graph with
+  | B.Time _ -> ()
+  | B.Oom -> Alcotest.fail "PyG should fall back to the loop variant"
+  | B.Unsupported r -> Alcotest.fail r
+
+let test_graphiler_rgat_ooms_at_scale () =
+  (* weight replication at mag scale exceeds the card *)
+  let graph = Ds.load ~max_nodes:500 ~max_edges:1500 (Ds.find "mag") in
+  check_bool "OOM" true (B.run B.Graphiler ~model:"rgat" ~training:false ~graph = B.Oom)
+
+let test_rgat_baselines_oom_on_mag_training () =
+  let graph = Ds.load ~max_nodes:500 ~max_edges:1500 (Ds.find "mag") in
+  List.iter
+    (fun system ->
+      match B.run system ~model:"rgat" ~training:true ~graph with
+      | B.Oom | B.Unsupported _ -> ()
+      | B.Time { ms; _ } ->
+          Alcotest.fail
+            (Printf.sprintf "%s should OOM on mag RGAT training (got %.1f ms)"
+               (B.system_name system) ms))
+    B.all_systems
+
+let test_best_picks_minimum () =
+  let graph = small_graph () in
+  match B.best ~model:"rgcn" ~training:false ~graph () with
+  | Some (_, best_ms) ->
+      List.iter
+        (fun system ->
+          match time_of (B.run system ~model:"rgcn" ~training:false ~graph) with
+          | Some ms -> check_bool "best is minimal" true (best_ms <= ms +. 1e-9)
+          | None -> ())
+        B.all_systems
+  | None -> Alcotest.fail "some baseline should run"
+
+let test_deterministic () =
+  let graph = small_graph () in
+  let a = time_of (B.run B.Dgl ~model:"hgt" ~training:true ~graph) in
+  let b = time_of (B.run B.Dgl ~model:"hgt" ~training:true ~graph) in
+  check_bool "deterministic" true (a = b && a <> None)
+
+let suite =
+  [
+    Alcotest.test_case "support matrix" `Quick test_support_matrix;
+    Alcotest.test_case "times positive" `Quick test_times_positive;
+    Alcotest.test_case "training costs more" `Quick test_training_costs_more;
+    Alcotest.test_case "relation count hurts loop systems" `Quick test_relation_count_hurts_loop_systems;
+    Alcotest.test_case "PyG falls back when Fast OOMs" `Quick test_pyg_falls_back_when_fast_ooms;
+    Alcotest.test_case "Graphiler RGAT OOMs at scale" `Quick test_graphiler_rgat_ooms_at_scale;
+    Alcotest.test_case "RGAT baselines OOM on mag training" `Quick test_rgat_baselines_oom_on_mag_training;
+    Alcotest.test_case "best picks minimum" `Quick test_best_picks_minimum;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+  ]

@@ -1,0 +1,365 @@
+(* Unit and property tests for the heterogeneous-graph substrate. *)
+
+module G = Hector_graph.Hetgraph
+module Mg = Hector_graph.Metagraph
+module Csr = Hector_graph.Csr
+module Cm = Hector_graph.Compact_map
+module Gen = Hector_graph.Generator
+module Ds = Hector_graph.Datasets
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A small fixed citation-style graph used across tests:
+   node types: 0 = author (nodes 0-1), 1 = paper (nodes 2-4)
+   relations:  0 = writes (author->paper), 1 = cites (paper->paper) *)
+let tiny () =
+  let mg = Mg.create ~num_ntypes:2 ~relations:[| (0, 1); (1, 1) |] in
+  G.create ~name:"tiny" ~metagraph:mg
+    ~node_type:[| 0; 0; 1; 1; 1 |]
+    ~edges:[| (2, 3, 1); (0, 2, 0); (0, 3, 0); (1, 3, 0); (3, 4, 1); (2, 4, 1); (0, 2, 0) |]
+    ()
+
+let test_metagraph_basics () =
+  let mg = Mg.create ~num_ntypes:3 ~relations:[| (0, 1); (2, 1); (1, 0) |] in
+  check_int "ntypes" 3 (Mg.num_ntypes mg);
+  check_int "etypes" 3 (Mg.num_etypes mg);
+  check_int "src" 2 (Mg.src_ntype mg 1);
+  check_int "dst" 0 (Mg.dst_ntype mg 2);
+  Alcotest.(check (list int)) "with dst 1" [ 0; 1 ] (Mg.etypes_with_dst mg 1)
+
+let test_metagraph_invalid () =
+  check_bool "bad relation raises" true
+    (try
+       ignore (Mg.create ~num_ntypes:2 ~relations:[| (0, 2) |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_create_sorts_edges () =
+  let g = tiny () in
+  check_int "edges" 7 g.G.num_edges;
+  (* all etype-0 edges first *)
+  Alcotest.(check (array int)) "etype sorted" [| 0; 0; 0; 0; 1; 1; 1 |] g.G.etype;
+  (* every edge respects the metagraph *)
+  Array.iteri
+    (fun i e ->
+      check_int "src type" (Mg.src_ntype g.G.metagraph e) g.G.node_type.(g.G.src.(i));
+      check_int "dst type" (Mg.dst_ntype g.G.metagraph e) g.G.node_type.(g.G.dst.(i)))
+    g.G.etype
+
+let test_create_rejects_violations () =
+  let mg = Mg.create ~num_ntypes:2 ~relations:[| (0, 1) |] in
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  check_bool "unsorted node types" true
+    (raises (fun () -> ignore (G.create ~metagraph:mg ~node_type:[| 1; 0 |] ~edges:[||] ())));
+  check_bool "edge type out of range" true
+    (raises (fun () ->
+         ignore (G.create ~metagraph:mg ~node_type:[| 0; 1 |] ~edges:[| (0, 1, 5) |] ())));
+  check_bool "endpoint out of range" true
+    (raises (fun () ->
+         ignore (G.create ~metagraph:mg ~node_type:[| 0; 1 |] ~edges:[| (0, 7, 0) |] ())));
+  check_bool "metagraph violation" true
+    (raises (fun () ->
+         ignore (G.create ~metagraph:mg ~node_type:[| 0; 1 |] ~edges:[| (1, 1, 0) |] ())));
+  check_bool "scale below one" true
+    (raises (fun () ->
+         ignore (G.create ~scale:0.5 ~metagraph:mg ~node_type:[| 0; 1 |] ~edges:[||] ())))
+
+let test_type_ranges () =
+  let g = tiny () in
+  Alcotest.(check (pair int int)) "authors" (0, 2) (G.nodes_of_type g 0);
+  Alcotest.(check (pair int int)) "papers" (2, 3) (G.nodes_of_type g 1);
+  Alcotest.(check (pair int int)) "writes" (0, 4) (G.edges_of_type g 0);
+  Alcotest.(check (pair int int)) "cites" (4, 3) (G.edges_of_type g 1)
+
+let test_degrees () =
+  let g = tiny () in
+  let din = G.in_degrees g and dout = G.out_degrees g in
+  check_int "in deg node3" 3 din.(3);
+  check_int "in deg node2" 2 din.(2);
+  check_int "out deg node0" 3 dout.(0);
+  check_int "out deg node4" 0 dout.(4);
+  let by_rel = G.in_degrees_by_rel g in
+  check_int "writes into 3" 2 by_rel.(0).(3);
+  check_int "cites into 3" 1 by_rel.(1).(3);
+  check_int "cites into 4" 2 by_rel.(1).(4)
+
+let test_logical_scaling () =
+  let mg = Mg.create ~num_ntypes:1 ~relations:[| (0, 0) |] in
+  let g =
+    G.create ~scale:100.0 ~metagraph:mg ~node_type:[| 0; 0 |] ~edges:[| (0, 1, 0) |] ()
+  in
+  check_int "logical nodes" 200 (G.logical_nodes g);
+  check_int "logical edges" 100 (G.logical_edges g);
+  check_bool "density" true (Float.abs (G.density g -. (100.0 /. (200.0 *. 200.0))) < 1e-12)
+
+let test_csr_incoming_matches_coo () =
+  let g = tiny () in
+  let csr = Csr.incoming g in
+  check_int "total" g.G.num_edges csr.Csr.row_ptr.(g.G.num_nodes);
+  (* every (dst row, src col, eid) triple must match the COO arrays *)
+  for v = 0 to g.G.num_nodes - 1 do
+    List.iter
+      (fun (nbr, eid) ->
+        check_int "dst" v g.G.dst.(eid);
+        check_int "src" nbr g.G.src.(eid))
+      (Csr.neighbors csr v)
+  done;
+  check_int "degree node3" 3 (Csr.degree csr 3)
+
+let test_csr_outgoing_matches_coo () =
+  let g = tiny () in
+  let csr = Csr.outgoing g in
+  for v = 0 to g.G.num_nodes - 1 do
+    List.iter
+      (fun (nbr, eid) ->
+        check_int "src" v g.G.src.(eid);
+        check_int "dst" nbr g.G.dst.(eid))
+      (Csr.neighbors csr v)
+  done;
+  check_int "degree node0" 3 (Csr.degree csr 0)
+
+let test_csr_owner_of_index () =
+  let g = tiny () in
+  let csr = Csr.incoming g in
+  for k = 0 to Array.length csr.Csr.col - 1 do
+    let owner = Csr.owner_of_index csr k in
+    check_bool "row_ptr brackets k" true
+      (csr.Csr.row_ptr.(owner) <= k && k < csr.Csr.row_ptr.(owner + 1))
+  done
+
+let test_compact_map_tiny () =
+  let g = tiny () in
+  let cm = Cm.build g in
+  (* writes: sources 0,0,1,0 -> 2 unique; cites: 2,3,2 -> 2 unique *)
+  check_int "pairs" 4 cm.Cm.num_pairs;
+  Alcotest.(check (pair int int)) "writes range" (0, 2) (Cm.pairs_of_etype cm 0);
+  Alcotest.(check (pair int int)) "cites range" (2, 2) (Cm.pairs_of_etype cm 1);
+  (* same (etype, src) -> same row; different -> different *)
+  for i = 0 to g.G.num_edges - 1 do
+    for j = 0 to g.G.num_edges - 1 do
+      let same_pair = g.G.etype.(i) = g.G.etype.(j) && g.G.src.(i) = g.G.src.(j) in
+      check_bool "pair consistency" same_pair
+        (cm.Cm.row_of_edge.(i) = cm.Cm.row_of_edge.(j))
+    done
+  done;
+  (* pair_src maps back *)
+  for i = 0 to g.G.num_edges - 1 do
+    check_int "pair_src" g.G.src.(i) cm.Cm.pair_src.(cm.Cm.row_of_edge.(i));
+    check_int "etype_of_pair" g.G.etype.(i) (Cm.etype_of_pair cm cm.Cm.row_of_edge.(i))
+  done;
+  check_bool "ratio" true (Float.abs (Cm.ratio g cm -. (4.0 /. 7.0)) < 1e-12)
+
+let test_generator_counts () =
+  let spec =
+    {
+      Gen.name = "synth";
+      num_ntypes = 4;
+      num_etypes = 12;
+      num_nodes = 500;
+      num_edges = 2000;
+      compaction_target = 0.5;
+      scale = 3.0;
+      seed = 99;
+    }
+  in
+  let g = Gen.generate spec in
+  check_int "nodes" 500 g.G.num_nodes;
+  check_int "edges" 2000 g.G.num_edges;
+  check_int "ntypes" 4 (G.num_ntypes g);
+  check_int "etypes" 12 (G.num_etypes g);
+  (* every edge type populated *)
+  for e = 0 to 11 do
+    let _, count = G.edges_of_type g e in
+    check_bool "etype populated" true (count >= 1)
+  done;
+  (* every node type populated *)
+  for t = 0 to 3 do
+    let _, count = G.nodes_of_type g t in
+    check_bool "ntype populated" true (count >= 1)
+  done
+
+let test_generator_compaction_tracks_target () =
+  List.iter
+    (fun target ->
+      let g =
+        Gen.generate
+          {
+            Gen.name = "synth";
+            num_ntypes = 3;
+            num_etypes = 20;
+            num_nodes = 2000;
+            num_edges = 6000;
+            compaction_target = target;
+            scale = 1.0;
+            seed = 5;
+          }
+      in
+      let cm = Cm.build g in
+      let achieved = Cm.ratio g cm in
+      check_bool
+        (Printf.sprintf "target %.2f achieved %.3f" target achieved)
+        true
+        (Float.abs (achieved -. target) < 0.12))
+    [ 0.26; 0.5; 0.75 ]
+
+let test_generator_deterministic () =
+  let spec =
+    {
+      Gen.name = "synth";
+      num_ntypes = 3;
+      num_etypes = 8;
+      num_nodes = 200;
+      num_edges = 700;
+      compaction_target = 0.4;
+      scale = 1.0;
+      seed = 42;
+    }
+  in
+  let g1 = Gen.generate spec and g2 = Gen.generate spec in
+  Alcotest.(check (array int)) "src" g1.G.src g2.G.src;
+  Alcotest.(check (array int)) "dst" g1.G.dst g2.G.dst;
+  Alcotest.(check (array int)) "etype" g1.G.etype g2.G.etype;
+  let g3 = Gen.generate { spec with seed = 43 } in
+  check_bool "different seed differs" true (g1.G.src <> g3.G.src || g1.G.dst <> g3.G.dst)
+
+let test_generator_validation () =
+  let base =
+    {
+      Gen.name = "x";
+      num_ntypes = 3;
+      num_etypes = 8;
+      num_nodes = 200;
+      num_edges = 700;
+      compaction_target = 0.4;
+      scale = 1.0;
+      seed = 1;
+    }
+  in
+  let raises spec = try ignore (Gen.generate spec); false with Invalid_argument _ -> true in
+  check_bool "too few nodes" true (raises { base with num_nodes = 2 });
+  check_bool "too few edges" true (raises { base with num_edges = 4 });
+  check_bool "bad target" true (raises { base with compaction_target = 0.0 });
+  check_bool "bad target >1" true (raises { base with compaction_target = 1.5 })
+
+let test_datasets_table4 () =
+  check_int "eight datasets" 8 (List.length Ds.all);
+  let aifb = Ds.find "aifb" in
+  check_int "aifb ntypes" 7 aifb.Ds.num_ntypes;
+  check_int "aifb etypes" 104 aifb.Ds.num_etypes;
+  check_int "aifb nodes" 7262 aifb.Ds.logical_nodes;
+  let mag = Ds.find "mag" in
+  check_int "mag etypes" 4 mag.Ds.num_etypes;
+  check_int "mag edges" 21_110_000 mag.Ds.logical_edges;
+  check_bool "unknown raises" true
+    (try
+       ignore (Ds.find "nope");
+       false
+     with Invalid_argument _ -> true)
+
+let test_datasets_load_scales () =
+  let info = Ds.find "am" in
+  let g = Ds.load ~max_nodes:1000 ~max_edges:3000 info in
+  check_bool "physical bounded" true (g.G.num_nodes <= 1100 && g.G.num_edges <= 3300);
+  (* logical counts recovered within rounding *)
+  let rel_err a b = Float.abs (float_of_int a -. float_of_int b) /. float_of_int b in
+  check_bool "logical nodes" true (rel_err (G.logical_nodes g) info.Ds.logical_nodes < 0.05);
+  check_bool "logical edges" true (rel_err (G.logical_edges g) info.Ds.logical_edges < 0.05)
+
+let test_datasets_small_full_size () =
+  let info = Ds.find "aifb" in
+  let g = Ds.load ~max_nodes:10_000 ~max_edges:50_000 info in
+  check_int "full nodes" 7262 g.G.num_nodes;
+  check_int "full edges" 48_810 g.G.num_edges;
+  check_bool "scale 1" true (g.G.scale = 1.0)
+
+let test_dataset_compaction_targets () =
+  (* the two ratios quoted in §4.4 must be reproduced by the replicas *)
+  List.iter
+    (fun (name, expected) ->
+      let g = Ds.load ~max_nodes:4000 ~max_edges:12_000 (Ds.find name) in
+      let achieved = Cm.ratio g (Cm.build g) in
+      check_bool
+        (Printf.sprintf "%s ratio %.3f vs %.2f" name achieved expected)
+        true
+        (Float.abs (achieved -. expected) < 0.12))
+    [ ("am", 0.57); ("fb15k", 0.26) ]
+
+(* --- property tests --- *)
+
+let graph_gen =
+  QCheck.Gen.(
+    let* seed = int_range 0 10_000 in
+    let* num_ntypes = int_range 1 5 in
+    let* num_etypes = int_range 1 12 in
+    let* num_nodes = int_range num_ntypes 300 in
+    let* num_edges = int_range num_etypes 900 in
+    let* target_pct = int_range 10 100 in
+    return
+      (Gen.generate
+         {
+           Gen.name = "prop";
+           num_ntypes;
+           num_etypes;
+           num_nodes;
+           num_edges;
+           compaction_target = float_of_int target_pct /. 100.0;
+           scale = 1.0;
+           seed;
+         }))
+
+let arb_graph = QCheck.make graph_gen ~print:(fun g -> Format.asprintf "%a" G.pp g)
+
+let prop_csr_roundtrip =
+  QCheck.Test.make ~name:"CSR incoming covers every COO edge exactly once" ~count:50 arb_graph
+    (fun g ->
+      let csr = Csr.incoming g in
+      let seen = Array.make g.G.num_edges 0 in
+      for v = 0 to g.G.num_nodes - 1 do
+        List.iter
+          (fun (nbr, eid) ->
+            seen.(eid) <- seen.(eid) + 1;
+            assert (g.G.dst.(eid) = v && g.G.src.(eid) = nbr))
+          (Csr.neighbors csr v)
+      done;
+      Array.for_all (fun c -> c = 1) seen)
+
+let prop_compact_rows_contiguous =
+  QCheck.Test.make ~name:"compact rows partition by etype and are dense" ~count:50 arb_graph
+    (fun g ->
+      let cm = Cm.build g in
+      let covered = Array.make cm.Cm.num_pairs false in
+      Array.iter (fun r -> covered.(r) <- true) cm.Cm.row_of_edge;
+      Array.for_all (fun b -> b) covered
+      && cm.Cm.etype_ptr.(G.num_etypes g) = cm.Cm.num_pairs)
+
+let prop_degrees_sum_to_edges =
+  QCheck.Test.make ~name:"degree sums equal edge count" ~count:50 arb_graph (fun g ->
+      let sum a = Array.fold_left ( + ) 0 a in
+      sum (G.in_degrees g) = g.G.num_edges && sum (G.out_degrees g) = g.G.num_edges)
+
+let suite =
+  [
+    Alcotest.test_case "metagraph basics" `Quick test_metagraph_basics;
+    Alcotest.test_case "metagraph invalid" `Quick test_metagraph_invalid;
+    Alcotest.test_case "create sorts edges by etype" `Quick test_create_sorts_edges;
+    Alcotest.test_case "create rejects violations" `Quick test_create_rejects_violations;
+    Alcotest.test_case "type ranges" `Quick test_type_ranges;
+    Alcotest.test_case "degrees" `Quick test_degrees;
+    Alcotest.test_case "logical scaling" `Quick test_logical_scaling;
+    Alcotest.test_case "CSR incoming matches COO" `Quick test_csr_incoming_matches_coo;
+    Alcotest.test_case "CSR outgoing matches COO" `Quick test_csr_outgoing_matches_coo;
+    Alcotest.test_case "CSR owner_of_index" `Quick test_csr_owner_of_index;
+    Alcotest.test_case "compact map on tiny graph" `Quick test_compact_map_tiny;
+    Alcotest.test_case "generator counts" `Quick test_generator_counts;
+    Alcotest.test_case "generator compaction target" `Quick test_generator_compaction_tracks_target;
+    Alcotest.test_case "generator deterministic" `Quick test_generator_deterministic;
+    Alcotest.test_case "generator validation" `Quick test_generator_validation;
+    Alcotest.test_case "datasets Table 4 stats" `Quick test_datasets_table4;
+    Alcotest.test_case "datasets load scales" `Quick test_datasets_load_scales;
+    Alcotest.test_case "small dataset full size" `Quick test_datasets_small_full_size;
+    Alcotest.test_case "am/fb15k compaction ratios" `Quick test_dataset_compaction_targets;
+    QCheck_alcotest.to_alcotest prop_csr_roundtrip;
+    QCheck_alcotest.to_alcotest prop_compact_rows_contiguous;
+    QCheck_alcotest.to_alcotest prop_degrees_sum_to_edges;
+  ]

@@ -1,0 +1,17 @@
+(* Entry point of the test suite.  Each substrate and compiler stage
+   registers its cases under its own section. *)
+
+let () =
+  Alcotest.run "hector"
+    [
+      ("tensor", Test_tensor.suite);
+      ("graph", Test_graph.suite);
+      ("gpu", Test_gpu.suite);
+      ("core", Test_core.suite);
+      ("runtime", Test_runtime.suite);
+      ("baselines", Test_baselines.suite);
+      ("models", Test_models.suite);
+      ("experiments", Test_experiments.suite);
+      ("sampler", Test_sampler.suite);
+      ("frontend", Test_frontend.suite);
+    ]

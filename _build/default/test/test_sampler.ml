@@ -1,0 +1,172 @@
+(* Tests for neighborhood sampling and minibatch training (§6). *)
+
+module T = Hector_tensor.Tensor
+module Rng = Hector_tensor.Rng
+module G = Hector_graph.Hetgraph
+module Gen = Hector_graph.Generator
+module Sampler = Hector_graph.Sampler
+module Compiler = Hector_core.Compiler
+module Minibatch = Hector_runtime.Minibatch
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parent =
+  lazy
+    (Gen.generate
+       {
+         Gen.name = "parent";
+         num_ntypes = 3;
+         num_etypes = 6;
+         num_nodes = 400;
+         num_edges = 1600;
+         compaction_target = 0.5;
+         scale = 1.0;
+         seed = 21;
+       })
+
+let test_block_is_valid_graph () =
+  let graph = Lazy.force parent in
+  let block = Sampler.sample ~graph ~seeds:[| 0; 10; 50 |] ~fanout:4 ~hops:2 () in
+  let sub = block.Sampler.graph in
+  (* Hetgraph.create validated invariants; check the mappings *)
+  check_int "one origin per node" sub.G.num_nodes (Array.length block.Sampler.origin_node);
+  check_int "one origin per edge" sub.G.num_edges (Array.length block.Sampler.origin_edge);
+  (* node types survive the renumbering *)
+  Array.iteri
+    (fun i v -> check_int "ntype preserved" graph.G.node_type.(v) sub.G.node_type.(i))
+    block.Sampler.origin_node;
+  (* every subgraph edge is the parent edge it claims to be *)
+  Array.iteri
+    (fun i eid ->
+      check_int "etype" graph.G.etype.(eid) sub.G.etype.(i);
+      check_int "src" graph.G.src.(eid) block.Sampler.origin_node.(sub.G.src.(i));
+      check_int "dst" graph.G.dst.(eid) block.Sampler.origin_node.(sub.G.dst.(i)))
+    block.Sampler.origin_edge
+
+let test_seeds_mapped () =
+  let graph = Lazy.force parent in
+  let seeds = [| 3; 77; 200 |] in
+  let block = Sampler.sample ~graph ~seeds ~fanout:3 ~hops:1 () in
+  Array.iteri
+    (fun i sub_id ->
+      check_int "seed maps back" seeds.(i) block.Sampler.origin_node.(sub_id))
+    block.Sampler.seed_nodes
+
+let test_fanout_respected () =
+  let graph = Lazy.force parent in
+  let block = Sampler.sample ~graph ~seeds:[| 5; 9 |] ~fanout:2 ~hops:1 () in
+  let sub = block.Sampler.graph in
+  (* one hop from two seeds with fanout 2: at most 4 edges *)
+  check_bool "edge bound" true (sub.G.num_edges <= 4);
+  let din = G.in_degrees sub in
+  Array.iter (fun d -> check_bool "per-node fanout" true (d <= 2)) din
+
+let test_hops_grow_block () =
+  let graph = Lazy.force parent in
+  let one = Sampler.sample ~graph ~seeds:[| 42 |] ~fanout:4 ~hops:1 () in
+  let three = Sampler.sample ~graph ~seeds:[| 42 |] ~fanout:4 ~hops:3 () in
+  check_bool "more hops, no smaller" true
+    (three.Sampler.graph.G.num_nodes >= one.Sampler.graph.G.num_nodes)
+
+let test_sampler_validation () =
+  let graph = Lazy.force parent in
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check_bool "empty seeds" true (raises (fun () -> Sampler.sample ~graph ~seeds:[||] ~fanout:2 ~hops:1 ()));
+  check_bool "bad fanout" true
+    (raises (fun () -> Sampler.sample ~graph ~seeds:[| 0 |] ~fanout:0 ~hops:1 ()));
+  check_bool "seed out of range" true
+    (raises (fun () -> Sampler.sample ~graph ~seeds:[| 100000 |] ~fanout:2 ~hops:1 ()))
+
+let test_sampler_deterministic () =
+  let graph = Lazy.force parent in
+  let a = Sampler.sample ~seed:4 ~graph ~seeds:[| 1; 2 |] ~fanout:3 ~hops:2 () in
+  let b = Sampler.sample ~seed:4 ~graph ~seeds:[| 1; 2 |] ~fanout:3 ~hops:2 () in
+  check_bool "same block" true (a.Sampler.origin_edge = b.Sampler.origin_edge)
+
+(* --- minibatch training --- *)
+
+let test_minibatch_step_report () =
+  let graph = Lazy.force parent in
+  let rng = Rng.create 5 in
+  let features = T.randn rng [| graph.G.num_nodes; 8 |] in
+  let labels = Array.init graph.G.num_nodes (fun v -> graph.G.node_type.(v)) in
+  let compiled =
+    Compiler.compile
+      ~options:(Compiler.options_of_flags ~training:true ~compact:false ~fusion:false ())
+      (Hector_models.Model_defs.rgcn ~in_dim:8 ~out_dim:3 ())
+  in
+  let trainer = Minibatch.create ~graph ~features ~labels compiled in
+  let report = Minibatch.step trainer ~batch:[| 0; 1; 2; 3 |] () in
+  check_bool "loss finite" true (Float.is_finite report.Minibatch.loss);
+  check_bool "block nonempty" true (report.Minibatch.block_nodes > 0);
+  check_bool "transfer charged" true (report.Minibatch.transfer_ms > 0.0);
+  check_bool "compute charged" true (report.Minibatch.compute_ms > 0.0)
+
+let test_minibatch_learns () =
+  (* labels = node type (mod classes): learnable signal through typed
+     message passing; minibatch SGD over blocks must reduce the loss *)
+  let graph = Lazy.force parent in
+  let rng = Rng.create 11 in
+  let classes = 3 in
+  let labels = Array.init graph.G.num_nodes (fun v -> graph.G.node_type.(v) mod classes) in
+  let features =
+    T.init [| graph.G.num_nodes; 8 |] (fun idx ->
+        (if idx.(1) = labels.(idx.(0)) then 1.0 else 0.0) +. (0.3 *. Rng.gaussian rng))
+  in
+  let compiled =
+    Compiler.compile
+      ~options:(Compiler.options_of_flags ~training:true ~compact:true ~fusion:false ())
+      (Hector_models.Model_defs.rgcn ~in_dim:8 ~out_dim:classes ())
+  in
+  let trainer = Minibatch.create ~graph ~features ~labels compiled in
+  let first = Minibatch.train_epochs trainer ~lr:0.3 ~batch_size:80 ~epochs:1 () in
+  let last = Minibatch.train_epochs trainer ~lr:0.3 ~batch_size:80 ~epochs:4 () in
+  check_bool (Printf.sprintf "loss decreases (%.3f -> %.3f)" first last) true (last < first)
+
+let test_minibatch_requires_training () =
+  let graph = Lazy.force parent in
+  let features = T.zeros [| graph.G.num_nodes; 8 |] in
+  let labels = Array.make graph.G.num_nodes 0 in
+  let compiled =
+    Compiler.compile ~options:Compiler.default_options
+      (Hector_models.Model_defs.rgcn ~in_dim:8 ~out_dim:3 ())
+  in
+  check_bool "raises" true
+    (try
+       ignore (Minibatch.create ~graph ~features ~labels compiled);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- property tests --- *)
+
+let prop_block_edges_subset =
+  QCheck.Test.make ~name:"sampled blocks are consistent subgraphs" ~count:30
+    QCheck.(make Gen.(pair (int_range 0 399) (int_range 1 3)))
+    (fun (seed_node, hops) ->
+      let graph = Lazy.force parent in
+      let block = Sampler.sample ~graph ~seeds:[| seed_node |] ~fanout:5 ~hops () in
+      let sub = block.Sampler.graph in
+      let ok = ref true in
+      Array.iteri
+        (fun i eid ->
+          if
+            graph.G.src.(eid) <> block.Sampler.origin_node.(sub.G.src.(i))
+            || graph.G.dst.(eid) <> block.Sampler.origin_node.(sub.G.dst.(i))
+          then ok := false)
+        block.Sampler.origin_edge;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "block is a valid graph" `Quick test_block_is_valid_graph;
+    Alcotest.test_case "seeds mapped" `Quick test_seeds_mapped;
+    Alcotest.test_case "fanout respected" `Quick test_fanout_respected;
+    Alcotest.test_case "hops grow the block" `Quick test_hops_grow_block;
+    Alcotest.test_case "sampler validation" `Quick test_sampler_validation;
+    Alcotest.test_case "sampler deterministic" `Quick test_sampler_deterministic;
+    Alcotest.test_case "minibatch step report" `Quick test_minibatch_step_report;
+    Alcotest.test_case "minibatch learns" `Quick test_minibatch_learns;
+    Alcotest.test_case "minibatch requires training" `Quick test_minibatch_requires_training;
+    QCheck_alcotest.to_alcotest prop_block_edges_subset;
+  ]
