@@ -6,6 +6,7 @@
      bench/main.exe                   run all tables and figures
      bench/main.exe --table5 --fig6   run selected experiments
      bench/main.exe --micro           run the Bechamel microbenchmarks
+     bench/main.exe --micro --json    also write BENCH_micro.json (name -> ns/run)
      bench/main.exe --max-edges 9000  larger physical replicas (slower)  *)
 
 module H = Hector_experiments.Harness
@@ -98,49 +99,147 @@ let micro_tests () =
     forward_test "fig6/rgat_compact_fused" ~compact:true ~fusion:true "rgat";
   ]
 
-let run_micro () =
+let run_micro ~json () =
   let open Bechamel in
   let tests = micro_tests () in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
   print_endline "Bechamel microbenchmarks (wall-clock of the real implementations):";
-  List.iter
-    (fun test ->
-      let results =
-        Benchmark.all cfg instances (Test.make_grouped ~name:"g" ~fmt:"%s %s" [ test ])
-      in
-      let results =
-        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
-          (Toolkit.Instance.monotonic_clock) results
-      in
-      Hashtbl.iter
-        (fun name result ->
-          match Bechamel.Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/run\n" name est
-          | _ -> Printf.printf "  %-28s (no estimate)\n" name)
-        results)
-    tests
+  let estimates =
+    List.concat_map
+      (fun test ->
+        let results =
+          Benchmark.all cfg instances (Test.make_grouped ~name:"g" ~fmt:"%s %s" [ test ])
+        in
+        let results =
+          Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+            (Toolkit.Instance.monotonic_clock) results
+        in
+        Hashtbl.fold
+          (fun name result acc ->
+            (* drop the synthetic "g " group prefix Bechamel adds *)
+            let name =
+              if String.length name > 2 && String.equal (String.sub name 0 2) "g " then
+                String.sub name 2 (String.length name - 2)
+              else name
+            in
+            match Bechamel.Analyze.OLS.estimates result with
+            | Some [ est ] ->
+                Printf.printf "  %-28s %12.1f ns/run\n" name est;
+                (name, Some est) :: acc
+            | _ ->
+                Printf.printf "  %-28s (no estimate)\n" name;
+                (name, None) :: acc)
+          results [])
+      tests
+  in
+  if json then begin
+    (* machine-readable perf trajectory: name -> ns/run *)
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (name, est) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf
+          (Printf.sprintf "  \"%s\": %s"
+             (Hector_gpu.Engine.json_escape name)
+             (match est with Some e -> Printf.sprintf "%.1f" e | None -> "null")))
+      estimates;
+    Buffer.add_string buf "\n}\n";
+    let oc = open_out "BENCH_micro.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "\nWrote BENCH_micro.json (%d entries, HECTOR_DOMAINS=%d)\n"
+      (List.length estimates)
+      (Hector_tensor.Domain_pool.num_domains ())
+  end
+
+(* --- CLI ---------------------------------------------------------- *)
+
+let usage () =
+  print_string
+    "Usage: bench/main.exe [FLAGS]\n\n\
+     Experiment selection (default: all tables and figures):\n";
+  List.iter (fun (flag, title, _) -> Printf.printf "  %-12s %s\n" flag title) experiments;
+  print_string
+    "\nOther flags:\n\
+    \  --micro        run the Bechamel wall-clock microbenchmarks instead\n\
+    \  --json         with --micro: write BENCH_micro.json (name -> ns/run)\n\
+    \  --max-nodes N  cap physical replica size (default 2000)\n\
+    \  --max-edges N  cap physical replica size (default 6000)\n\
+    \  --help         show this message\n\n\
+     The multicore backend is sized by HECTOR_DOMAINS (1 = sequential).\n"
+
+let cli_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "bench/main.exe: %s\n\n" msg;
+      usage ();
+      exit 1)
+    fmt
+
+type cli = {
+  mutable micro : bool;
+  mutable json : bool;
+  mutable max_nodes : int;
+  mutable max_edges : int;
+  mutable selected : string list;  (* experiment flags, reversed *)
+}
+
+let parse_cli argv =
+  let cli = { micro = false; json = false; max_nodes = 2000; max_edges = 6000; selected = [] } in
+  let int_value flag rest =
+    match rest with
+    | v :: rest -> (
+        match int_of_string_opt (String.trim v) with
+        | Some n when n > 0 -> (n, rest)
+        | Some _ -> cli_error "%s expects a positive integer, got %S" flag v
+        | None -> cli_error "%s expects an integer, got %S" flag v)
+    | [] -> cli_error "%s expects an integer argument" flag
+  in
+  let rec go = function
+    | [] -> cli
+    | "--help" :: _ | "-h" :: _ ->
+        usage ();
+        exit 0
+    | "--micro" :: rest ->
+        cli.micro <- true;
+        go rest
+    | "--json" :: rest ->
+        cli.json <- true;
+        go rest
+    | "--max-nodes" :: rest ->
+        let n, rest = int_value "--max-nodes" rest in
+        cli.max_nodes <- n;
+        go rest
+    | "--max-edges" :: rest ->
+        let n, rest = int_value "--max-edges" rest in
+        cli.max_edges <- n;
+        go rest
+    | flag :: rest when List.exists (fun (f, _, _) -> String.equal f flag) experiments ->
+        cli.selected <- flag :: cli.selected;
+        go rest
+    | arg :: _ ->
+        if String.length arg >= 2 && String.equal (String.sub arg 0 2) "--" then
+          cli_error "unknown flag %S" arg
+        else cli_error "unexpected argument %S" arg
+  in
+  go (List.tl (Array.to_list argv))
 
 let () =
-  let args = Array.to_list Sys.argv in
-  let get_int flag default =
-    let rec go = function
-      | f :: v :: _ when String.equal f flag -> int_of_string v
-      | _ :: rest -> go rest
-      | [] -> default
-    in
-    go args
-  in
-  let max_nodes = get_int "--max-nodes" 2000 and max_edges = get_int "--max-edges" 6000 in
-  let t = H.create ~max_nodes ~max_edges () in
-  if List.mem "--micro" args then run_micro ()
+  let cli = parse_cli Sys.argv in
+  if cli.json && not cli.micro then cli_error "--json only makes sense together with --micro";
+  if cli.micro then run_micro ~json:cli.json ()
   else begin
-    let selected = List.filter (fun (flag, _, _) -> List.mem flag args) experiments in
+    let t = H.create ~max_nodes:cli.max_nodes ~max_edges:cli.max_edges () in
+    let selected =
+      List.filter (fun (flag, _, _) -> List.mem flag cli.selected) experiments
+    in
     let to_run = if selected = [] then experiments else selected in
     Printf.printf
       "Hector benchmark harness — simulated RTX 3090, paper-scale costs\n\
        (physical replicas: <=%d nodes, <=%d edges per dataset; see DESIGN.md)\n\n"
-      max_nodes max_edges;
+      cli.max_nodes cli.max_edges;
     List.iter
       (fun (_, title, run) ->
         Printf.printf "==== %s ====\n\n" title;

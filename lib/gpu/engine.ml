@@ -43,6 +43,23 @@ let reset_clock t =
 
 let events t = List.rev t.events
 
+(* JSON string escaping: quotes, backslashes and control characters in
+   kernel names would otherwise produce invalid trace JSON. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let to_chrome_trace t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\"traceEvents\":[";
@@ -52,8 +69,8 @@ let to_chrome_trace t =
       Buffer.add_string buf
         (Printf.sprintf
            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1}"
-           e.name
-           (Kernel.category_name e.category)
+           (json_escape e.name)
+           (json_escape (Kernel.category_name e.category))
            (e.start_ms *. 1e3) (e.duration_ms *. 1e3)))
     (events t);
   Buffer.add_string buf "]}";

@@ -51,7 +51,12 @@ val events : t -> event list
 
 val to_chrome_trace : t -> string
 (** Serialize the timeline as a Chrome-tracing JSON document
-    (load in [chrome://tracing] or Perfetto). *)
+    (load in [chrome://tracing] or Perfetto).  Kernel names and categories
+    are JSON-escaped, so arbitrary names survive the round trip. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON document (quotes, backslashes,
+    control characters). *)
 
 val memory : t -> Memory.t
 (** The device allocator of this engine. *)

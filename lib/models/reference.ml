@@ -1,10 +1,22 @@
 module Tensor = Hector_tensor.Tensor
 module Hetgraph = Hector_graph.Hetgraph
 module G = Hector_graph.Hetgraph
+module Csr = Hector_graph.Csr
+module Dp = Hector_tensor.Domain_pool
 
 let leaky_slope = 0.01
 
-let row m i = Array.init (Tensor.cols m) (fun j -> Tensor.get2 m i j)
+(* The reference models run on the same multicore backend as the compiled
+   plans: per-node and per-edge projection tables are filled by
+   [Domain_pool.parallel_for] (disjoint writes), and destination-row
+   accumulations walk the incoming-CSR view so each domain owns a disjoint
+   slice of output nodes.  Because a CSR row stores its edges in ascending
+   edge id, per-row accumulation order — and therefore the floating-point
+   result — is identical to the sequential edge loop at any domain count;
+   with one domain every [parallel_for] degrades to the plain loop.
+
+   Row reads go through per-chunk scratch buffers ([copy_row_into]) so the
+   hot loops allocate nothing per edge beyond the tables they fill. *)
 
 let matvec_row x w =
   (* x (k) · w (k×n) -> (n) *)
@@ -18,6 +30,18 @@ let matvec_row x w =
   done;
   out
 
+(* allocation-free variant for scratch-buffer loops *)
+let matvec_row_into x w out =
+  let k = Tensor.dim w 0 and n = Tensor.dim w 1 in
+  if Array.length x <> k || Array.length out <> n then
+    invalid_arg "Reference: dimension mismatch";
+  Array.fill out 0 n 0.0;
+  for i = 0 to k - 1 do
+    for j = 0 to n - 1 do
+      out.(j) <- out.(j) +. (x.(i) *. Tensor.get2 w i j)
+    done
+  done
+
 let dot a b =
   let acc = ref 0.0 in
   Array.iteri (fun i x -> acc := !acc +. (x *. b.(i))) a;
@@ -29,6 +53,11 @@ let add_into dst src scale =
 let of_rows rows =
   Tensor.of_2d rows
 
+(* grains, in rows/edges per chunk: each iteration is a dense matvec, so
+   chunks this small already amortize the pool handshake *)
+let node_grain = 8
+let edge_grain = 16
+
 let edge_softmax (g : G.t) pre =
   (* pre: float array per edge -> normalized attention per edge *)
   let sums = Array.make g.G.num_nodes 0.0 in
@@ -37,13 +66,29 @@ let edge_softmax (g : G.t) pre =
   Array.mapi (fun e v -> v /. sums.(g.G.dst.(e))) ex
 
 let rgcn_raw ~act ~graph:(g : G.t) ~h ~norm ~w ~w0 =
-  let out = Array.init g.G.num_nodes (fun v -> matvec_row (row h v) (Tensor.slice0 w0 0)) in
-  for e = 0 to g.G.num_edges - 1 do
-    let msg = matvec_row (row h g.G.src.(e)) (Tensor.slice0 w g.G.etype.(e)) in
-    add_into out.(g.G.dst.(e)) msg (Tensor.get2 norm e 0)
-  done;
-  if act then of_rows (Array.map (Array.map (fun x -> if x > 0.0 then x else 0.0)) out)
-  else of_rows out
+  let in_dim = Tensor.cols h in
+  let csr = Csr.incoming g in
+  let out = Array.make g.G.num_nodes [||] in
+  Dp.parallel_for ~grain:node_grain g.G.num_nodes (fun lo hi ->
+      let xbuf = Array.make in_dim 0.0 in
+      let msg = Array.make (Tensor.dim w 2) 0.0 in
+      let w00 = Tensor.slice0 w0 0 in
+      for v = lo to hi - 1 do
+        Tensor.copy_row_into h v xbuf;
+        let acc = matvec_row xbuf w00 in
+        for k = csr.Csr.row_ptr.(v) to csr.Csr.row_ptr.(v + 1) - 1 do
+          let e = csr.Csr.eid.(k) in
+          Tensor.copy_row_into h g.G.src.(e) xbuf;
+          matvec_row_into xbuf (Tensor.slice0 w g.G.etype.(e)) msg;
+          add_into acc msg (Tensor.get2 norm e 0)
+        done;
+        if act then
+          for j = 0 to Array.length acc - 1 do
+            if acc.(j) < 0.0 then acc.(j) <- 0.0
+          done;
+        out.(v) <- acc
+      done);
+  of_rows out
 
 let rgcn ~graph ~h ~norm ~w ~w0 = rgcn_raw ~act:true ~graph ~h ~norm ~w ~w0
 
@@ -52,20 +97,43 @@ let rgcn_two_layer ~graph ~h ~norm ~w1 ~w01 ~w2 ~w02 =
   rgcn_raw ~act:false ~graph ~h:h1 ~norm ~w:w2 ~w0:w02
 
 let rgat ~graph:(g : G.t) ~h ~w ~att =
-  let zi = Array.init g.G.num_edges (fun e -> matvec_row (row h g.G.src.(e)) (Tensor.slice0 w g.G.etype.(e))) in
-  let zj = Array.init g.G.num_edges (fun e -> matvec_row (row h g.G.dst.(e)) (Tensor.slice0 w g.G.etype.(e))) in
-  let pre =
-    Array.init g.G.num_edges (fun e ->
-        let a = row att g.G.etype.(e) in
-        let s = dot a (Array.append zi.(e) zj.(e)) in
-        if s > 0.0 then s else leaky_slope *. s)
-  in
-  let attn = edge_softmax g pre in
+  let in_dim = Tensor.cols h in
   let out_dim = Tensor.dim w 2 in
-  let out = Array.init g.G.num_nodes (fun _ -> Array.make out_dim 0.0) in
-  for e = 0 to g.G.num_edges - 1 do
-    add_into out.(g.G.dst.(e)) zi.(e) attn.(e)
-  done;
+  let ne = g.G.num_edges in
+  let zi = Array.make ne [||] and zj = Array.make ne [||] in
+  let pre = Array.make ne 0.0 in
+  Dp.parallel_for ~grain:edge_grain ne (fun lo hi ->
+      let xbuf = Array.make in_dim 0.0 in
+      for e = lo to hi - 1 do
+        let wm = Tensor.slice0 w g.G.etype.(e) in
+        Tensor.copy_row_into h g.G.src.(e) xbuf;
+        zi.(e) <- matvec_row xbuf wm;
+        Tensor.copy_row_into h g.G.dst.(e) xbuf;
+        zj.(e) <- matvec_row xbuf wm;
+        (* a · [z_i; z_j], summed in the concatenation order *)
+        let a = att and r = g.G.etype.(e) in
+        let acc = ref 0.0 in
+        for j = 0 to out_dim - 1 do
+          acc := !acc +. (Tensor.get2 a r j *. zi.(e).(j))
+        done;
+        for j = 0 to out_dim - 1 do
+          acc := !acc +. (Tensor.get2 a r (out_dim + j) *. zj.(e).(j))
+        done;
+        let s = !acc in
+        pre.(e) <- (if s > 0.0 then s else leaky_slope *. s)
+      done);
+  let attn = edge_softmax g pre in
+  let csr = Csr.incoming g in
+  let out = Array.make g.G.num_nodes [||] in
+  Dp.parallel_for ~grain:node_grain g.G.num_nodes (fun lo hi ->
+      for v = lo to hi - 1 do
+        let acc = Array.make out_dim 0.0 in
+        for k = csr.Csr.row_ptr.(v) to csr.Csr.row_ptr.(v + 1) - 1 do
+          let e = csr.Csr.eid.(k) in
+          add_into acc zi.(e) attn.(e)
+        done;
+        out.(v) <- acc
+      done);
   of_rows out
 
 let rgat_multihead ~graph ~h ~heads =
@@ -76,20 +144,40 @@ let rgat_multihead ~graph ~h ~heads =
 (* one HGT head without the final activation *)
 let hgt_head ~graph:(g : G.t) ~h ~k ~q ~v ~wa ~wm =
   let d = Tensor.dim k 2 in
-  let proj stack n = matvec_row (row h n) (Tensor.slice0 stack g.G.node_type.(n)) in
-  let kv = Array.init g.G.num_nodes (proj k) in
-  let qv = Array.init g.G.num_nodes (proj q) in
-  let vv = Array.init g.G.num_nodes (proj v) in
-  let kw = Array.init g.G.num_edges (fun e -> matvec_row kv.(g.G.src.(e)) (Tensor.slice0 wa g.G.etype.(e))) in
-  let m = Array.init g.G.num_edges (fun e -> matvec_row vv.(g.G.src.(e)) (Tensor.slice0 wm g.G.etype.(e))) in
-  let pre =
-    Array.init g.G.num_edges (fun e -> dot kw.(e) qv.(g.G.dst.(e)) /. sqrt (float_of_int d))
-  in
+  let in_dim = Tensor.cols h in
+  let nn = g.G.num_nodes and ne = g.G.num_edges in
+  let kv = Array.make nn [||] and qv = Array.make nn [||] and vv = Array.make nn [||] in
+  Dp.parallel_for ~grain:node_grain nn (fun lo hi ->
+      let xbuf = Array.make in_dim 0.0 in
+      for n = lo to hi - 1 do
+        let nt = g.G.node_type.(n) in
+        Tensor.copy_row_into h n xbuf;
+        kv.(n) <- matvec_row xbuf (Tensor.slice0 k nt);
+        qv.(n) <- matvec_row xbuf (Tensor.slice0 q nt);
+        vv.(n) <- matvec_row xbuf (Tensor.slice0 v nt)
+      done);
+  let kw = Array.make ne [||] and m = Array.make ne [||] in
+  let pre = Array.make ne 0.0 in
+  let scale = sqrt (float_of_int d) in
+  Dp.parallel_for ~grain:edge_grain ne (fun lo hi ->
+      for e = lo to hi - 1 do
+        let et = g.G.etype.(e) and src = g.G.src.(e) in
+        kw.(e) <- matvec_row kv.(src) (Tensor.slice0 wa et);
+        m.(e) <- matvec_row vv.(src) (Tensor.slice0 wm et);
+        pre.(e) <- dot kw.(e) qv.(g.G.dst.(e)) /. scale
+      done);
   let attn = edge_softmax g pre in
-  let out = Array.init g.G.num_nodes (fun _ -> Array.make d 0.0) in
-  for e = 0 to g.G.num_edges - 1 do
-    add_into out.(g.G.dst.(e)) m.(e) attn.(e)
-  done;
+  let csr = Csr.incoming g in
+  let out = Array.make nn [||] in
+  Dp.parallel_for ~grain:node_grain nn (fun lo hi ->
+      for v2 = lo to hi - 1 do
+        let acc = Array.make d 0.0 in
+        for kk = csr.Csr.row_ptr.(v2) to csr.Csr.row_ptr.(v2 + 1) - 1 do
+          let e = csr.Csr.eid.(kk) in
+          add_into acc m.(e) attn.(e)
+        done;
+        out.(v2) <- acc
+      done);
   of_rows out
 
 let hgt ~graph ~h ~k ~q ~v ~wa ~wm =

@@ -11,6 +11,7 @@ module Mat = Hector_core.Materialization
 module Plan = Hector_core.Plan
 module Lf = Hector_core.Linear_fusion
 module Mg = Hector_graph.Metagraph
+module Dp = Hector_tensor.Domain_pool
 
 type value = Scalar of float | Vector of float array
 
@@ -69,18 +70,28 @@ let row_of t iter ent (entry : Env.entry) =
   | Ir.Cur_edge -> Graph_ctx.row_of_edge t.ctx entry.Env.space iter.edge
   | Ir.Cur_node | Ir.Src | Ir.Dst -> node_of t iter ent
 
+(* Row reads blit the whole row in one shot instead of an [Array.init]
+   with a bounds-checked closure per element; scalar writes avoid the
+   one-element [Vector] temporary entirely.  (Returning a shared scratch
+   buffer from [read_row] would be unsound: the value may be captured in
+   the traversal's per-edge locals and must survive later reads.) *)
 let read_row (entry : Env.entry) row =
   if entry.Env.dim = 1 then Scalar (Tensor.get2 entry.Env.tensor row 0)
-  else Vector (Array.init entry.Env.dim (fun j -> Tensor.get2 entry.Env.tensor row j))
+  else Vector (Tensor.row_array entry.Env.tensor row)
 
 let write_row ~accumulate (entry : Env.entry) row v =
-  let vec = to_vector v in
-  if Array.length vec <> entry.Env.dim then
-    fail "write of dim %d into buffer of dim %d" (Array.length vec) entry.Env.dim;
-  for j = 0 to entry.Env.dim - 1 do
-    let prev = if accumulate then Tensor.get2 entry.Env.tensor row j else 0.0 in
-    Tensor.set2 entry.Env.tensor row j (prev +. vec.(j))
-  done
+  match v with
+  | Scalar s when entry.Env.dim = 1 ->
+      let prev = if accumulate then Tensor.get2 entry.Env.tensor row 0 else 0.0 in
+      Tensor.set2 entry.Env.tensor row 0 (prev +. s)
+  | _ ->
+      let vec = to_vector v in
+      if Array.length vec <> entry.Env.dim then
+        fail "write of dim %d into buffer of dim %d" (Array.length vec) entry.Env.dim;
+      for j = 0 to entry.Env.dim - 1 do
+        let prev = if accumulate then Tensor.get2 entry.Env.tensor row j else 0.0 in
+        Tensor.set2 entry.Env.tensor row j (prev +. vec.(j))
+      done
 
 (* ------------------------------------------------------------------ *)
 (* weight access                                                       *)
@@ -185,15 +196,19 @@ let rec eval t iter locals expr =
       | None -> fail "no fallback implementation registered for %S" name)
 
 (* Accumulate a weight gradient contribution:
-   matrices get dW[idx] += x ⊗ dy, vectors get dv[idx] += x * dy. *)
-let exec_grad_weight t iter locals ~program name x dy =
+   matrices get dW[idx] += x ⊗ dy, vectors get dv[idx] += x * dy.
+   [grads] resolves the accumulation target: the environment's gradient
+   stack on the sequential path, a per-domain scratch stack during a
+   parallel sweep (merged once afterwards — the pre-reduction that stands
+   in for the paper's warp-level reduction before atomics). *)
+let exec_grad_weight t iter locals ~program ~grads name x dy =
   let slice =
     match Ir.find_decl program name with
     | Some (Ir.Weight_mat { slice; _ }) | Some (Ir.Weight_vec { slice; _ }) -> slice
     | _ -> fail "Grad_weight: %S is not a declared weight" name
   in
   let idx = slice_index t iter slice in
-  let grad = Env.weight_grad t.env name in
+  let grad = grads name in
   let gslice = Tensor.slice0 grad idx in
   let xv = to_vector (eval t iter locals x) in
   let dyv = eval t iter locals dy in
@@ -376,7 +391,7 @@ let stmt_traffic t program (spec : Ts.t) st =
 (* traversal execution                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let exec_stmt t iter locals ~program st =
+let exec_stmt t iter locals ~program ~grads st =
   match st with
   | Ir.Assign (ent, n, e) ->
       let v = eval t iter locals e in
@@ -391,8 +406,10 @@ let exec_stmt t iter locals ~program st =
       let v = eval t iter locals e in
       let entry = Env.find t.env n in
       write_row ~accumulate:true entry (row_of t iter ent entry) v
-  | Ir.Grad_weight { name; x; dy } -> exec_grad_weight t iter locals ~program name x dy
+  | Ir.Grad_weight { name; x; dy } -> exec_grad_weight t iter locals ~program ~grads name x dy
   | Ir.For_each _ -> fail "nested loop inside traversal body"
+
+let env_grads t name = Env.weight_grad t.env name
 
 (* --- pair-local statements (the compaction compute saving, §3.1.3) ---
 
@@ -603,11 +620,187 @@ let split_passes t (classes : (Ir.stmt * stmt_iteration) list) =
       close pass)
     passes
 
+(* ------------------------------------------------------------------ *)
+(* multicore traversal sweeps                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The parallel backend re-expresses an edge loop as a node × incident-
+   edge loop over the incoming-CSR view (the paper's edge-loop ⇔
+   node×edge transform) and partitions the {e destination nodes} across
+   domains: every output row a statement may touch is then owned by
+   exactly one domain, so accumulations need no synchronisation — the CPU
+   analogue of Hector's warp-level pre-reduction before atomics.  Weight
+   gradients, whose rows are shared by construction, accumulate into
+   per-domain scratch stacks merged in deterministic chunk order.
+
+   Because the CSR stores each destination's edges in ascending edge id,
+   the per-row accumulation order matches the sequential edge loop
+   exactly; only the grad-scratch merge reassociates floating point. *)
+
+type grad_scratch = (string, Tensor.t) Hashtbl.t
+
+let scratch_grads t (tbl : grad_scratch) name =
+  match Hashtbl.find_opt tbl name with
+  | Some g -> g
+  | None ->
+      let g = Tensor.zeros (Tensor.shape (Env.weight t.env name)) in
+      Hashtbl.add tbl name g;
+      g
+
+let merge_grad_scratch (a : grad_scratch) (b : grad_scratch) =
+  Hashtbl.iter
+    (fun n g ->
+      match Hashtbl.find_opt a n with
+      | Some ga -> Tensor.add_inplace ga g
+      | None -> Hashtbl.add a n g)
+    b;
+  a
+
+let apply_grad_scratch t (tbl : grad_scratch) =
+  Hashtbl.iter (fun n g -> Tensor.add_inplace (Env.weight_grad t.env n) g) tbl
+
+(* How many destination nodes one chunk takes; small because the
+   interpreted statement bodies are orders of magnitude heavier than the
+   chunk bookkeeping. *)
+let node_grain = 32
+
+(* Conservative safety analysis: may this pass be partitioned by
+   destination segments (or node ranges, for [Node_map]) without two
+   domains racing on a row?  Unsafe passes keep the sequential loop. *)
+let pass_parallelizable t (spec_locals : string list) strategy pass =
+  let is_local n = List.mem n spec_locals || Env.find_opt t.env n = None in
+  let space_of n = Option.map (fun (e : Env.entry) -> e.Env.space) (Env.find_opt t.env n) in
+  (* (name, entity) of every buffer read *)
+  let reads =
+    List.concat_map
+      (fun (st, _) ->
+        List.concat_map
+          (fun e ->
+            let acc = ref [] in
+            Ir.iter_expr
+              (function
+                | Ir.Feature (ent, n) | Ir.Data (ent, n) ->
+                    if not (is_local n) then acc := (n, ent) :: !acc
+                | _ -> ())
+              e;
+            !acc)
+          (Ir.stmt_exprs st))
+      pass
+  in
+  (* (name, entity, class) of every buffer write; locals excluded *)
+  let writes =
+    List.filter_map
+      (fun (st, cls) ->
+        match st with
+        | Ir.Assign (ent, n, _) | Ir.Accumulate (ent, n, _) ->
+            if ent = Ir.Cur_edge && is_local n then None else Some (n, ent, cls)
+        | Ir.Grad_weight _ | Ir.For_each _ -> None)
+      pass
+  in
+  let no_for_each =
+    List.for_all (fun (st, _) -> match st with Ir.For_each _ -> false | _ -> true) pass
+  in
+  let write_safe (n, ent, cls) =
+    match ent with
+    | Ir.Src -> false (* source rows cross destination segments *)
+    | Ir.Dst -> true (* the partition key itself *)
+    | Ir.Cur_node -> strategy <> Ts.Edge_parallel
+    | Ir.Cur_edge -> (
+        match space_of n with
+        | Some Mat.Rows_edges -> true (* one row per edge *)
+        | Some Mat.Rows_compact_dst -> true (* a pair's edges share the dst *)
+        | Some Mat.Rows_compact_src ->
+            (* only the unique representative edge writes the row *)
+            cls = Per_pair_src
+        | Some Mat.Rows_nodes | None -> false)
+  in
+  (* A name both written and read inside one pass is only safe when every
+     read resolves to a row the writing domain also owns (and the CSR's
+     ascending-edge-id row order preserves the sequential interleaving). *)
+  let conflict_safe (n, _, _) =
+    let read_ents = List.filter_map (fun (m, e) -> if String.equal m n then Some e else None) reads in
+    let write_ents = List.filter_map (fun (m, e, _) -> if String.equal m n then Some e else None) writes in
+    let dst_local e = e = Ir.Dst || (e = Ir.Cur_node && strategy <> Ts.Edge_parallel) in
+    List.for_all
+      (fun re ->
+        match re with
+        | Ir.Src -> false
+        | Ir.Dst | Ir.Cur_node -> dst_local re && List.for_all dst_local write_ents
+        | Ir.Cur_edge -> (
+            match space_of n with
+            | Some Mat.Rows_edges | Some Mat.Rows_compact_dst ->
+                List.for_all (fun we -> we = Ir.Cur_edge) write_ents
+            | _ -> false))
+      read_ents
+  in
+  no_for_each
+  && List.for_all write_safe writes
+  && List.for_all
+       (fun w ->
+         let (n, _, _) = w in
+         (not (List.exists (fun (m, _) -> String.equal m n) reads)) || conflict_safe w)
+       writes
+
+(* Run [run_iter] over every (edge, node) iteration of the strategy,
+   destination-segmented across the domain pool, with per-domain gradient
+   scratch.  [run_iter] receives the gradient sink to use. *)
+let parallel_sweep t strategy run_iter =
+  let g = t.ctx.Graph_ctx.graph in
+  let scratch =
+    match strategy with
+    | Ts.Edge_parallel | Ts.Node_gather ->
+        let csr = t.ctx.Graph_ctx.in_csr in
+        let row_ptr = csr.Csr.row_ptr and eid = csr.Csr.eid in
+        let node = match strategy with Ts.Node_gather -> fun v -> v | _ -> fun _ -> -1 in
+        Dp.parallel_for_reduce ~grain:node_grain g.G.num_nodes
+          ~init:(fun () -> Hashtbl.create 4)
+          ~body:(fun tbl lo hi ->
+            let grads = scratch_grads t tbl in
+            for v = lo to hi - 1 do
+              for k = row_ptr.(v) to row_ptr.(v + 1) - 1 do
+                run_iter ~grads { edge = eid.(k); node = node v }
+              done
+            done;
+            tbl)
+          ~merge:merge_grad_scratch
+    | Ts.Node_map ->
+        Dp.parallel_for_reduce ~grain:node_grain g.G.num_nodes
+          ~init:(fun () -> Hashtbl.create 4)
+          ~body:(fun tbl lo hi ->
+            let grads = scratch_grads t tbl in
+            for v = lo to hi - 1 do
+              run_iter ~grads { edge = -1; node = v }
+            done;
+            tbl)
+          ~merge:merge_grad_scratch
+  in
+  apply_grad_scratch t scratch
+
+let sequential_sweep t strategy run_iter =
+  let g = t.ctx.Graph_ctx.graph in
+  let grads = env_grads t in
+  match strategy with
+  | Ts.Edge_parallel ->
+      for e = 0 to g.G.num_edges - 1 do
+        run_iter ~grads { edge = e; node = -1 }
+      done
+  | Ts.Node_gather ->
+      let csr = t.ctx.Graph_ctx.in_csr in
+      for v = 0 to g.G.num_nodes - 1 do
+        List.iter
+          (fun (_, eid) -> run_iter ~grads { edge = eid; node = v })
+          (Csr.neighbors csr v)
+      done
+  | Ts.Node_map ->
+      for v = 0 to g.G.num_nodes - 1 do
+        run_iter ~grads { edge = -1; node = v }
+      done
+
 let run_traversal t ~program ~layout (spec : Ts.t) =
   let g = t.ctx.Graph_ctx.graph in
   let classes = List.map (fun st -> (st, classify_stmt t spec st)) spec.Ts.body in
   let passes = split_passes t classes in
-  let run_iter pass iter =
+  let run_iter pass ~grads iter =
     let locals = Hashtbl.create 4 in
     List.iter (fun n -> Hashtbl.replace locals n (Scalar 0.0)) spec.Ts.locals;
     List.iter
@@ -618,27 +811,16 @@ let run_traversal t ~program ~layout (spec : Ts.t) =
           | Per_pair_src -> t.ctx.Graph_ctx.rep_src.(iter.edge)
           | Per_pair_dst -> t.ctx.Graph_ctx.rep_dst.(iter.edge)
         in
-        if execute then exec_stmt t iter locals ~program st)
+        if execute then exec_stmt t iter locals ~program ~grads st)
       pass
   in
   List.iter
     (fun pass ->
-      match spec.Ts.strategy with
-      | Ts.Edge_parallel ->
-          for e = 0 to g.G.num_edges - 1 do
-            run_iter pass { edge = e; node = -1 }
-          done
-      | Ts.Node_gather ->
-          let csr = t.ctx.Graph_ctx.in_csr in
-          for v = 0 to g.G.num_nodes - 1 do
-            List.iter
-              (fun (_, eid) -> run_iter pass { edge = eid; node = v })
-              (Csr.neighbors csr v)
-          done
-      | Ts.Node_map ->
-          for v = 0 to g.G.num_nodes - 1 do
-            run_iter pass { edge = -1; node = v }
-          done)
+      if
+        (not (Dp.sequential ()))
+        && pass_parallelizable t spec.Ts.locals spec.Ts.strategy pass
+      then parallel_sweep t spec.Ts.strategy (run_iter pass)
+      else sequential_sweep t spec.Ts.strategy (run_iter pass))
     passes;
   (* cost: per-edge statements iterate over edges (or nodes for Node_map),
      pair-local statements only over their pair count *)
@@ -699,25 +881,14 @@ let count_expr_nodes e =
 let run_fallback t ~program (f : Plan.fallback) =
   let g = t.ctx.Graph_ctx.graph in
   (* compute values exactly like a traversal... *)
-  let run_iter iter =
+  let run_iter ~grads iter =
     let locals = Hashtbl.create 1 in
-    List.iter (exec_stmt t iter locals ~program) f.Plan.body
+    List.iter (exec_stmt t iter locals ~program ~grads) f.Plan.body
   in
-  (match f.Plan.strategy with
-  | Ts.Edge_parallel ->
-      for e = 0 to g.G.num_edges - 1 do
-        run_iter { edge = e; node = -1 }
-      done
-  | Ts.Node_gather ->
-      for v = 0 to g.G.num_nodes - 1 do
-        List.iter
-          (fun (_, eid) -> run_iter { edge = eid; node = v })
-          (Csr.neighbors t.ctx.Graph_ctx.in_csr v)
-      done
-  | Ts.Node_map ->
-      for v = 0 to g.G.num_nodes - 1 do
-        run_iter { edge = -1; node = v }
-      done);
+  let classes = List.map (fun st -> (st, Per_edge)) f.Plan.body in
+  if (not (Dp.sequential ())) && pass_parallelizable t [] f.Plan.strategy classes then
+    parallel_sweep t f.Plan.strategy run_iter
+  else sequential_sweep t f.Plan.strategy run_iter;
   (* ...but charge one kernel + full materialization per operator node *)
   let iters =
     match f.Plan.strategy with

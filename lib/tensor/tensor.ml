@@ -2,6 +2,13 @@ type t = { shape : int array; offset : int; data : float array }
 
 exception Shape_error of string
 
+(* Multicore backend: element/row loops below a grain run sequentially;
+   larger ones are chunked across the persistent domain pool.  Grains are
+   in loop iterations, sized so a chunk is worth a fork/join handshake. *)
+let elt_grain = 4096
+
+let row_grain cols = max 1 (elt_grain / max 1 cols)
+
 let shape_error fmt = Format.kasprintf (fun s -> raise (Shape_error s)) fmt
 
 let product a = Array.fold_left ( * ) 1 a
@@ -147,6 +154,18 @@ let row m i =
   if i < 0 || i >= m.shape.(0) then shape_error "row: index %d out of %d" i m.shape.(0);
   { shape = [| m.shape.(1) |]; offset = m.offset + (i * m.shape.(1)); data = m.data }
 
+let row_array m i =
+  if ndim m <> 2 then shape_error "row_array: not a matrix";
+  if i < 0 || i >= m.shape.(0) then shape_error "row_array: index %d out of %d" i m.shape.(0);
+  Array.sub m.data (m.offset + (i * m.shape.(1))) m.shape.(1)
+
+let copy_row_into m i buf =
+  if ndim m <> 2 then shape_error "copy_row_into: not a matrix";
+  if i < 0 || i >= m.shape.(0) then shape_error "copy_row_into: index %d out of %d" i m.shape.(0);
+  let c = m.shape.(1) in
+  if Array.length buf <> c then shape_error "copy_row_into: buffer %d vs %d cols" (Array.length buf) c;
+  Array.blit m.data (m.offset + (i * c)) buf 0 c
+
 let sub_rows m start len =
   if ndim m <> 2 then shape_error "sub_rows: not a matrix";
   if start < 0 || len < 0 || start + len > m.shape.(0) then
@@ -163,18 +182,20 @@ let same_shape a b = a.shape = b.shape
 let map f t =
   let n = numel t in
   let out = create t.shape in
-  for i = 0 to n - 1 do
-    out.data.(i) <- f t.data.(t.offset + i)
-  done;
+  Domain_pool.parallel_for ~grain:elt_grain n (fun lo hi ->
+      for i = lo to hi - 1 do
+        out.data.(i) <- f t.data.(t.offset + i)
+      done);
   out
 
 let map2 f a b =
   if not (same_shape a b) then shape_error "map2: shape mismatch";
   let n = numel a in
   let out = create a.shape in
-  for i = 0 to n - 1 do
-    out.data.(i) <- f a.data.(a.offset + i) b.data.(b.offset + i)
-  done;
+  Domain_pool.parallel_for ~grain:elt_grain n (fun lo hi ->
+      for i = lo to hi - 1 do
+        out.data.(i) <- f a.data.(a.offset + i) b.data.(b.offset + i)
+      done);
   out
 
 let add a b = map2 ( +. ) a b
@@ -185,15 +206,17 @@ let scale k t = map (fun x -> k *. x) t
 
 let add_inplace dst src =
   if not (same_shape dst src) then shape_error "add_inplace: shape mismatch";
-  for i = 0 to numel dst - 1 do
-    dst.data.(dst.offset + i) <- dst.data.(dst.offset + i) +. src.data.(src.offset + i)
-  done
+  Domain_pool.parallel_for ~grain:elt_grain (numel dst) (fun lo hi ->
+      for i = lo to hi - 1 do
+        dst.data.(dst.offset + i) <- dst.data.(dst.offset + i) +. src.data.(src.offset + i)
+      done)
 
 let axpy a x y =
   if not (same_shape x y) then shape_error "axpy: shape mismatch";
-  for i = 0 to numel x - 1 do
-    y.data.(y.offset + i) <- y.data.(y.offset + i) +. (a *. x.data.(x.offset + i))
-  done
+  Domain_pool.parallel_for ~grain:elt_grain (numel x) (fun lo hi ->
+      for i = lo to hi - 1 do
+        y.data.(y.offset + i) <- y.data.(y.offset + i) +. (a *. x.data.(x.offset + i))
+      done)
 
 let fill t v = Array.fill t.data t.offset (numel t) v
 
@@ -211,30 +234,35 @@ let matmul_into ?(trans_a = false) ?(trans_b = false) ?(beta = 0.0) a b c =
   if c.shape.(0) <> am || c.shape.(1) <> bn then
     shape_error "matmul: output %dx%d vs expected %dx%d" c.shape.(0) c.shape.(1) am bn;
   if beta = 0.0 then fill c 0.0 else if beta <> 1.0 then
-    for i = 0 to numel c - 1 do
-      c.data.(c.offset + i) <- beta *. c.data.(c.offset + i)
-    done;
+    Domain_pool.parallel_for ~grain:elt_grain (numel c) (fun lo hi ->
+        for i = lo to hi - 1 do
+          c.data.(c.offset + i) <- beta *. c.data.(c.offset + i)
+        done);
   let acols = a.shape.(1) and bcols = b.shape.(1) and ccols = c.shape.(1) in
-  (* i-k-j loop order for locality on the common (no-transpose) path *)
-  for i = 0 to am - 1 do
-    let crow = c.offset + (i * ccols) in
-    for k = 0 to ak - 1 do
-      let aik =
-        if trans_a then a.data.(a.offset + (k * acols) + i)
-        else a.data.(a.offset + (i * acols) + k)
-      in
-      if aik <> 0.0 then
-        if trans_b then
-          for j = 0 to bn - 1 do
-            c.data.(crow + j) <- c.data.(crow + j) +. (aik *. b.data.(b.offset + (j * bcols) + k))
-          done
-        else
-          let brow = b.offset + (k * bcols) in
-          for j = 0 to bn - 1 do
-            c.data.(crow + j) <- c.data.(crow + j) +. (aik *. b.data.(brow + j))
-          done
-    done
-  done
+  (* Cache-blocked over output-row blocks: each domain owns a contiguous
+     block of C rows (so writes never race) and keeps the i-k-j order
+     inside its block for locality on the common (no-transpose) path. *)
+  let row_flops = max 1 (ak * bn) in
+  Domain_pool.parallel_for ~grain:(max 1 (32768 / row_flops)) am (fun row_lo row_hi ->
+      for i = row_lo to row_hi - 1 do
+        let crow = c.offset + (i * ccols) in
+        for k = 0 to ak - 1 do
+          let aik =
+            if trans_a then a.data.(a.offset + (k * acols) + i)
+            else a.data.(a.offset + (i * acols) + k)
+          in
+          if aik <> 0.0 then
+            if trans_b then
+              for j = 0 to bn - 1 do
+                c.data.(crow + j) <- c.data.(crow + j) +. (aik *. b.data.(b.offset + (j * bcols) + k))
+              done
+            else
+              let brow = b.offset + (k * bcols) in
+              for j = 0 to bn - 1 do
+                c.data.(crow + j) <- c.data.(crow + j) +. (aik *. b.data.(brow + j))
+              done
+        done
+      done)
 
 let matmul ?(trans_a = false) ?(trans_b = false) a b =
   let am = if trans_a then a.shape.(1) else a.shape.(0) in
@@ -245,11 +273,15 @@ let matmul ?(trans_a = false) ?(trans_b = false) a b =
 
 let dot a b =
   if numel a <> numel b then shape_error "dot: %d vs %d elements" (numel a) (numel b);
-  let acc = ref 0.0 in
-  for i = 0 to numel a - 1 do
-    acc := !acc +. (a.data.(a.offset + i) *. b.data.(b.offset + i))
-  done;
-  !acc
+  Domain_pool.parallel_for_reduce ~grain:elt_grain (numel a)
+    ~init:(fun () -> 0.0)
+    ~body:(fun acc lo hi ->
+      let acc = ref acc in
+      for i = lo to hi - 1 do
+        acc := !acc +. (a.data.(a.offset + i) *. b.data.(b.offset + i))
+      done;
+      !acc)
+    ~merge:( +. )
 
 let outer a b =
   if ndim a <> 1 || ndim b <> 1 then shape_error "outer: operands must be 1-D";
@@ -263,11 +295,15 @@ let outer a b =
   c
 
 let sum t =
-  let acc = ref 0.0 in
-  for i = 0 to numel t - 1 do
-    acc := !acc +. t.data.(t.offset + i)
-  done;
-  !acc
+  Domain_pool.parallel_for_reduce ~grain:elt_grain (numel t)
+    ~init:(fun () -> 0.0)
+    ~body:(fun acc lo hi ->
+      let acc = ref acc in
+      for i = lo to hi - 1 do
+        acc := !acc +. t.data.(t.offset + i)
+      done;
+      !acc)
+    ~merge:( +. )
 
 let mean t =
   let n = numel t in
@@ -284,26 +320,39 @@ let max_value t =
 
 let sum_rows m =
   let r = rows m and c = cols m in
-  let out = create [| c |] in
-  for i = 0 to r - 1 do
-    let base = m.offset + (i * c) in
-    for j = 0 to c - 1 do
-      out.data.(j) <- out.data.(j) +. m.data.(base + j)
-    done
-  done;
-  out
+  (* column-wise reduction: per-chunk column accumulators merged in chunk
+     order, so the result is deterministic under any scheduling *)
+  let acc =
+    Domain_pool.parallel_for_reduce ~grain:(row_grain c) r
+      ~init:(fun () -> Array.make c 0.0)
+      ~body:(fun acc lo hi ->
+        for i = lo to hi - 1 do
+          let base = m.offset + (i * c) in
+          for j = 0 to c - 1 do
+            acc.(j) <- acc.(j) +. m.data.(base + j)
+          done
+        done;
+        acc)
+      ~merge:(fun a b ->
+        for j = 0 to c - 1 do
+          a.(j) <- a.(j) +. b.(j)
+        done;
+        a)
+  in
+  { shape = [| c |]; offset = 0; data = acc }
 
 let sum_cols m =
   let r = rows m and c = cols m in
   let out = create [| r |] in
-  for i = 0 to r - 1 do
-    let base = m.offset + (i * c) in
-    let acc = ref 0.0 in
-    for j = 0 to c - 1 do
-      acc := !acc +. m.data.(base + j)
-    done;
-    out.data.(i) <- !acc
-  done;
+  Domain_pool.parallel_for ~grain:(row_grain c) r (fun lo hi ->
+      for i = lo to hi - 1 do
+        let base = m.offset + (i * c) in
+        let acc = ref 0.0 in
+        for j = 0 to c - 1 do
+          acc := !acc +. m.data.(base + j)
+        done;
+        out.data.(i) <- !acc
+      done);
   out
 
 let argmax_rows m =
@@ -319,13 +368,15 @@ let argmax_rows m =
 
 let gather_rows m idx =
   let c = cols m in
+  let r = rows m in
   let out = create [| Array.length idx; c |] in
-  Array.iteri
-    (fun i src_row ->
-      if src_row < 0 || src_row >= rows m then
-        shape_error "gather_rows: row %d out of %d" src_row (rows m);
-      Array.blit m.data (m.offset + (src_row * c)) out.data (i * c) c)
-    idx;
+  Domain_pool.parallel_for ~grain:(row_grain c) (Array.length idx) (fun lo hi ->
+      for i = lo to hi - 1 do
+        let src_row = idx.(i) in
+        if src_row < 0 || src_row >= r then
+          shape_error "gather_rows: row %d out of %d" src_row r;
+        Array.blit m.data (m.offset + (src_row * c)) out.data (i * c) c
+      done);
   out
 
 let scatter_rows_set ~into idx src =
@@ -339,19 +390,44 @@ let scatter_rows_set ~into idx src =
       Array.blit src.data (src.offset + (i * c)) into.data (into.offset + (dst_row * c)) c)
     idx
 
-let scatter_rows_add ~into idx src =
-  let c = cols into in
-  if cols src <> c then shape_error "scatter_rows_add: column mismatch";
-  if rows src <> Array.length idx then shape_error "scatter_rows_add: row/index mismatch";
+let scatter_rows_add_seq ~into idx src c =
   Array.iteri
     (fun i dst_row ->
-      if dst_row < 0 || dst_row >= rows into then
-        shape_error "scatter_rows_add: row %d out of %d" dst_row (rows into);
       let sbase = src.offset + (i * c) and dbase = into.offset + (dst_row * c) in
       for j = 0 to c - 1 do
         into.data.(dbase + j) <- into.data.(dbase + j) +. src.data.(sbase + j)
       done)
     idx
+
+let scatter_rows_add ~into idx src =
+  let c = cols into in
+  if cols src <> c then shape_error "scatter_rows_add: column mismatch";
+  if rows src <> Array.length idx then shape_error "scatter_rows_add: row/index mismatch";
+  let nrows = rows into in
+  Array.iter
+    (fun dst_row ->
+      if dst_row < 0 || dst_row >= nrows then
+        shape_error "scatter_rows_add: row %d out of %d" dst_row nrows)
+    idx;
+  let n = Array.length idx in
+  (* Parallelized over *destination* row ranges, not over [idx]: each
+     domain sweeps the whole index once and applies only the updates that
+     land in its destination slice, so concurrent writes never touch the
+     same row and duplicate indices accumulate in their sequential order —
+     the pre-reduction analogue of the paper's atomic-free scatter. *)
+  if Domain_pool.sequential () || n * c <= elt_grain then scatter_rows_add_seq ~into idx src c
+  else
+    Domain_pool.parallel_for ~grain:(row_grain (max 1 (n * c / max 1 nrows))) nrows
+      (fun row_lo row_hi ->
+        for i = 0 to n - 1 do
+          let dst_row = idx.(i) in
+          if dst_row >= row_lo && dst_row < row_hi then begin
+            let sbase = src.offset + (i * c) and dbase = into.offset + (dst_row * c) in
+            for j = 0 to c - 1 do
+              into.data.(dbase + j) <- into.data.(dbase + j) +. src.data.(sbase + j)
+            done
+          end
+        done)
 
 let concat_cols a b =
   let r = rows a in

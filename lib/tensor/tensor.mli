@@ -115,6 +115,16 @@ val slice0 : t -> int -> t
 val row : t -> int -> t
 (** [row m i] is a zero-copy 1-D view of row [i] of matrix [m]. *)
 
+val row_array : t -> int -> float array
+(** [row_array m i] copies row [i] of matrix [m] out as a flat array with
+    a single blit — the fast path for per-edge row reads in the traversal
+    interpreter (no per-element closure). *)
+
+val copy_row_into : t -> int -> float array -> unit
+(** [copy_row_into m i buf] blits row [i] of matrix [m] into [buf]
+    (length must equal the column count) — the allocation-free row read
+    used with per-domain scratch buffers. *)
+
 val sub_rows : t -> int -> int -> t
 (** [sub_rows m start len] is a zero-copy view of rows
     [start .. start+len-1] of matrix [m] — the segment primitive behind

@@ -5,6 +5,7 @@ let () =
   Alcotest.run "hector"
     [
       ("tensor", Test_tensor.suite);
+      ("parallel", Test_parallel.suite);
       ("graph", Test_graph.suite);
       ("gpu", Test_gpu.suite);
       ("core", Test_core.suite);
