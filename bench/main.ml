@@ -31,8 +31,7 @@ let experiments : (string * string * (H.t -> unit)) list =
    the real (wall-clock) execution of that experiment's core computation on
    a small fixed input. --- *)
 
-let micro_tests () =
-  let open Bechamel in
+let micro_cases () =
   let graph =
     Hector_graph.Generator.generate
       {
@@ -54,105 +53,198 @@ let micro_tests () =
   let session ?training ~compact ~fusion model =
     Hector_runtime.Session.create ~seed:3 ~graph (compile ?training ~compact ~fusion model)
   in
-  let forward_test name ~compact ~fusion model =
+  let forward_case name ~compact ~fusion model =
     let s = session ~compact ~fusion model in
-    Test.make ~name (Staged.stage (fun () -> ignore (Hector_runtime.Session.forward s)))
+    (name, fun () -> ignore (Hector_runtime.Session.forward s))
   in
   let labels = Array.init graph.Hector_graph.Hetgraph.num_nodes (fun i -> i mod 16) in
-  let train_test name model =
+  let train_case name model =
     let s = session ~training:true ~compact:false ~fusion:false model in
-    Test.make ~name
-      (Staged.stage (fun () -> ignore (Hector_runtime.Session.train_step s ~labels ())))
+    (name, fun () -> ignore (Hector_runtime.Session.train_step s ~labels ()))
   in
   [
     (* Table 1 driver: compact-map construction *)
-    Test.make ~name:"table1/compact_map"
-      (Staged.stage (fun () -> ignore (Hector_graph.Compact_map.build graph)));
+    ("table1/compact_map", fun () -> ignore (Hector_graph.Compact_map.build graph));
     (* Figure 1 driver: Hector HGT inference epoch *)
-    forward_test "fig1/hgt_forward" ~compact:false ~fusion:false "hgt";
+    forward_case "fig1/hgt_forward" ~compact:false ~fusion:false "hgt";
     (* Table 4 driver: dataset replica generation *)
-    Test.make ~name:"table4/generator"
-      (Staged.stage (fun () ->
-           ignore
-             (Hector_graph.Generator.generate
-                {
-                  Hector_graph.Generator.name = "g";
-                  num_ntypes = 3;
-                  num_etypes = 8;
-                  num_nodes = 300;
-                  num_edges = 1000;
-                  compaction_target = 0.4;
-                  scale = 1.0;
-                  seed = 1;
-                })));
+    ( "table4/generator",
+      fun () ->
+        ignore
+          (Hector_graph.Generator.generate
+             {
+               Hector_graph.Generator.name = "g";
+               num_ntypes = 3;
+               num_etypes = 8;
+               num_nodes = 300;
+               num_edges = 1000;
+               compaction_target = 0.4;
+               scale = 1.0;
+               seed = 1;
+             }) );
     (* Figure 5 drivers: one epoch per model *)
-    forward_test "fig5/rgcn_forward" ~compact:false ~fusion:false "rgcn";
-    forward_test "fig5/rgat_forward" ~compact:false ~fusion:false "rgat";
-    train_test "fig5/rgcn_train" "rgcn";
+    forward_case "fig5/rgcn_forward" ~compact:false ~fusion:false "rgcn";
+    forward_case "fig5/rgat_forward" ~compact:false ~fusion:false "rgat";
+    train_case "fig5/rgcn_train" "rgcn";
     (* Table 5 drivers: the optimized configurations *)
-    forward_test "table5/rgat_compact" ~compact:true ~fusion:false "rgat";
-    forward_test "table5/rgat_fused" ~compact:false ~fusion:true "rgat";
+    forward_case "table5/rgat_compact" ~compact:true ~fusion:false "rgat";
+    forward_case "table5/rgat_fused" ~compact:false ~fusion:true "rgat";
     (* Table 6 driver: compilation itself *)
-    Test.make ~name:"table6/compile_rgat"
-      (Staged.stage (fun () -> ignore (compile ~compact:true ~fusion:true "rgat")));
+    ("table6/compile_rgat", fun () -> ignore (compile ~compact:true ~fusion:true "rgat"));
     (* Figure 6 driver: the C+F configuration *)
-    forward_test "fig6/rgat_compact_fused" ~compact:true ~fusion:true "rgat";
+    forward_case "fig6/rgat_compact_fused" ~compact:true ~fusion:true "rgat";
   ]
 
-let run_micro ~json () =
+type micro_result = {
+  ns : float option;  (* ns/run (Bechamel OLS estimate) *)
+  allocs : int;  (* tensor allocations in one steady-state run *)
+  copied : int;  (* bytes moved by gather/scatter/copy in one run *)
+}
+
+(* --- baseline comparison (--check) ---------------------------------
+
+   Reads a previously written BENCH_micro.json and returns name -> ns/run.
+   Both formats are accepted: the historical flat form ["name": 123.4] and
+   the current object form ["name": {"ns": 123.4, ...}] — one entry per
+   line either way, which keeps the reader trivial. *)
+
+let substring_index hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.equal (String.sub hay i nn) needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let float_after line i =
+  let len = String.length line in
+  let rec skip i = if i < len && (line.[i] = ':' || line.[i] = ' ') then skip (i + 1) else i in
+  let i = skip i in
+  let j = ref i in
+  while
+    !j < len
+    && match line.[!j] with '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true | _ -> false
+  do
+    incr j
+  done;
+  if !j = i then None else float_of_string_opt (String.sub line i (!j - i))
+
+let read_baseline path =
+  let ic = open_in path in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match String.index_opt line '"' with
+       | None -> ()
+       | Some q0 -> (
+           match String.index_from_opt line (q0 + 1) '"' with
+           | None -> ()
+           | Some q1 ->
+               let name = String.sub line (q0 + 1) (q1 - q0 - 1) in
+               let ns =
+                 match substring_index line "\"ns\"" with
+                 | Some i -> float_after line (i + 4)
+                 | None -> float_after line (q1 + 1)
+               in
+               (match ns with Some v -> entries := (name, v) :: !entries | None -> ()))
+     done
+   with End_of_file -> close_in ic);
+  List.rev !entries
+
+let check_regressions ~baseline ~tolerance results =
+  let regressions = ref [] in
+  Printf.printf "\nRegression check against %d baseline entries (tolerance %+.0f%%):\n"
+    (List.length baseline) (tolerance *. 100.0);
+  List.iter
+    (fun (name, base_ns) ->
+      match List.assoc_opt name results with
+      | Some { ns = Some est; _ } ->
+          let ratio = est /. base_ns in
+          let flag = if est > base_ns *. (1.0 +. tolerance) then "REGRESSION" else "ok" in
+          if String.equal flag "REGRESSION" then regressions := name :: !regressions;
+          Printf.printf "  %-28s %12.1f -> %12.1f ns/run  (%5.2fx)  %s\n" name base_ns est
+            ratio flag
+      | Some { ns = None; _ } | None ->
+          Printf.printf "  %-28s %12.1f -> (no measurement)\n" name base_ns)
+    baseline;
+  match !regressions with
+  | [] ->
+      Printf.printf "No regressions.\n";
+      true
+  | names ->
+      Printf.printf "%d regression(s): %s\n" (List.length names)
+        (String.concat ", " (List.rev names));
+      false
+
+let run_micro ~json ~check ~tolerance () =
   let open Bechamel in
-  let tests = micro_tests () in
+  let cases = micro_cases () in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
   print_endline "Bechamel microbenchmarks (wall-clock of the real implementations):";
-  let estimates =
-    List.concat_map
-      (fun test ->
-        let results =
+  let results =
+    List.map
+      (fun (name, fn) ->
+        let test = Test.make ~name (Staged.stage fn) in
+        let measured =
           Benchmark.all cfg instances (Test.make_grouped ~name:"g" ~fmt:"%s %s" [ test ])
         in
-        let results =
+        let analyzed =
           Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
-            (Toolkit.Instance.monotonic_clock) results
+            (Toolkit.Instance.monotonic_clock) measured
         in
-        Hashtbl.fold
-          (fun name result acc ->
-            (* drop the synthetic "g " group prefix Bechamel adds *)
-            let name =
-              if String.length name > 2 && String.equal (String.sub name 0 2) "g " then
-                String.sub name 2 (String.length name - 2)
-              else name
-            in
-            match Bechamel.Analyze.OLS.estimates result with
-            | Some [ est ] ->
-                Printf.printf "  %-28s %12.1f ns/run\n" name est;
-                (name, Some est) :: acc
-            | _ ->
-                Printf.printf "  %-28s (no estimate)\n" name;
-                (name, None) :: acc)
-          results [])
-      tests
+        let ns =
+          Hashtbl.fold
+            (fun _ result acc ->
+              match (acc, Bechamel.Analyze.OLS.estimates result) with
+              | None, Some [ est ] -> Some est
+              | acc, _ -> acc)
+            analyzed None
+        in
+        (* one instrumented steady-state run (Bechamel already warmed the
+           sessions, so plan arenas exist and allocation counts are the
+           per-step steady state, not first-run setup) *)
+        let a0 = Hector_tensor.Tensor.allocation_count () in
+        let c0 = Hector_tensor.Tensor.copied_bytes () in
+        fn ();
+        let allocs = Hector_tensor.Tensor.allocation_count () - a0 in
+        let copied = Hector_tensor.Tensor.copied_bytes () - c0 in
+        (match ns with
+        | Some est ->
+            Printf.printf "  %-28s %12.1f ns/run %8d allocs %12d copied-bytes\n" name est
+              allocs copied
+        | None -> Printf.printf "  %-28s (no estimate) %8d allocs %12d copied-bytes\n" name
+              allocs copied);
+        (name, { ns; allocs; copied }))
+      cases
   in
   if json then begin
-    (* machine-readable perf trajectory: name -> ns/run *)
+    (* machine-readable perf trajectory: name -> {ns, allocs, copied_bytes} *)
     let buf = Buffer.create 1024 in
     Buffer.add_string buf "{\n";
     List.iteri
-      (fun i (name, est) ->
+      (fun i (name, r) ->
         if i > 0 then Buffer.add_string buf ",\n";
         Buffer.add_string buf
-          (Printf.sprintf "  \"%s\": %s"
+          (Printf.sprintf "  \"%s\": {\"ns\": %s, \"allocs\": %d, \"copied_bytes\": %d}"
              (Hector_gpu.Engine.json_escape name)
-             (match est with Some e -> Printf.sprintf "%.1f" e | None -> "null")))
-      estimates;
+             (match r.ns with Some e -> Printf.sprintf "%.1f" e | None -> "null")
+             r.allocs r.copied))
+      results;
     Buffer.add_string buf "\n}\n";
     let oc = open_out "BENCH_micro.json" in
     output_string oc (Buffer.contents buf);
     close_out oc;
     Printf.printf "\nWrote BENCH_micro.json (%d entries, HECTOR_DOMAINS=%d)\n"
-      (List.length estimates)
+      (List.length results)
       (Hector_tensor.Domain_pool.num_domains ())
-  end
+  end;
+  match check with
+  | None -> ()
+  | Some path ->
+      if not (check_regressions ~baseline:(read_baseline path) ~tolerance results) then exit 1
 
 (* --- CLI ---------------------------------------------------------- *)
 
@@ -163,12 +255,18 @@ let usage () =
   List.iter (fun (flag, title, _) -> Printf.printf "  %-12s %s\n" flag title) experiments;
   print_string
     "\nOther flags:\n\
-    \  --micro        run the Bechamel wall-clock microbenchmarks instead\n\
-    \  --json         with --micro: write BENCH_micro.json (name -> ns/run)\n\
-    \  --max-nodes N  cap physical replica size (default 2000)\n\
-    \  --max-edges N  cap physical replica size (default 6000)\n\
-    \  --help         show this message\n\n\
-     The multicore backend is sized by HECTOR_DOMAINS (1 = sequential).\n"
+    \  --micro          run the Bechamel wall-clock microbenchmarks instead\n\
+    \  --json           with --micro: write BENCH_micro.json\n\
+    \                   (name -> {ns, allocs, copied_bytes})\n\
+    \  --check FILE     with --micro: compare against a baseline\n\
+    \                   BENCH_micro.json; exit 1 on any regression\n\
+    \  --tolerance T    with --check: allowed slowdown fraction\n\
+    \                   before a result counts as a regression (default 0.25)\n\
+    \  --max-nodes N    cap physical replica size (default 2000)\n\
+    \  --max-edges N    cap physical replica size (default 6000)\n\
+    \  --help           show this message\n\n\
+     The multicore backend is sized by HECTOR_DOMAINS (1 = sequential);\n\
+     HECTOR_ARENA=0 disables the plan-lifetime memory planner.\n"
 
 let cli_error fmt =
   Printf.ksprintf
@@ -181,13 +279,25 @@ let cli_error fmt =
 type cli = {
   mutable micro : bool;
   mutable json : bool;
+  mutable check : string option;
+  mutable tolerance : float;
   mutable max_nodes : int;
   mutable max_edges : int;
   mutable selected : string list;  (* experiment flags, reversed *)
 }
 
 let parse_cli argv =
-  let cli = { micro = false; json = false; max_nodes = 2000; max_edges = 6000; selected = [] } in
+  let cli =
+    {
+      micro = false;
+      json = false;
+      check = None;
+      tolerance = 0.25;
+      max_nodes = 2000;
+      max_edges = 6000;
+      selected = [];
+    }
+  in
   let int_value flag rest =
     match rest with
     | v :: rest -> (
@@ -208,6 +318,21 @@ let parse_cli argv =
     | "--json" :: rest ->
         cli.json <- true;
         go rest
+    | "--check" :: rest -> (
+        match rest with
+        | path :: rest ->
+            cli.check <- Some path;
+            go rest
+        | [] -> cli_error "--check expects a baseline file path")
+    | "--tolerance" :: rest -> (
+        match rest with
+        | v :: rest -> (
+            match float_of_string_opt (String.trim v) with
+            | Some t when t >= 0.0 ->
+                cli.tolerance <- t;
+                go rest
+            | _ -> cli_error "--tolerance expects a non-negative number, got %S" v)
+        | [] -> cli_error "--tolerance expects a numeric argument")
     | "--max-nodes" :: rest ->
         let n, rest = int_value "--max-nodes" rest in
         cli.max_nodes <- n;
@@ -229,7 +354,9 @@ let parse_cli argv =
 let () =
   let cli = parse_cli Sys.argv in
   if cli.json && not cli.micro then cli_error "--json only makes sense together with --micro";
-  if cli.micro then run_micro ~json:cli.json ()
+  if cli.check <> None && not cli.micro then
+    cli_error "--check only makes sense together with --micro";
+  if cli.micro then run_micro ~json:cli.json ~check:cli.check ~tolerance:cli.tolerance ()
   else begin
     let t = H.create ~max_nodes:cli.max_nodes ~max_edges:cli.max_edges () in
     let selected =

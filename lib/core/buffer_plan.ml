@@ -1,0 +1,176 @@
+(* Plan-lifetime memory planner: liveness over the step list + interval
+   coloring of temp buffers onto shared storage slots.  See buffer_plan.mli
+   for the contract. *)
+
+module Ir = Inter_ir
+module Gs = Gemm_spec
+module Ts = Traversal_spec
+module Mat = Materialization
+
+(* Variable names a step touches (traversal locals excluded implicitly:
+   they have no buffer).  Weight stacks and weight gradients are not plan
+   buffers, so weight ops and Grad_weight targets contribute nothing. *)
+let step_vars step =
+  match step with
+  | Plan.Weight_op _ -> []
+  | Plan.Gemm spec -> (
+      match spec.Gs.task with
+      | Gs.Node_linear { input; output; _ } -> [ Gs.operand_name input; output ]
+      | Gs.Edge_linear { input; output; per_row_scalar; _ } ->
+          Gs.operand_name input :: output :: Option.to_list per_row_scalar
+      | Gs.Edge_linear_dinput { grad_output; grad_input; _ } -> [ grad_output; grad_input ]
+      | Gs.Edge_linear_dweight { input; grad_output; _ } ->
+          [ Gs.operand_name input; grad_output ]
+      | Gs.Node_linear_dweight { input; grad_output; _ } ->
+          [ Gs.operand_name input; grad_output ])
+  | Plan.Traversal { Ts.body; _ } | Plan.Fallback { Plan.body; _ } ->
+      let names = ref [] in
+      let rec walk st =
+        (match st with
+        | Ir.Assign (_, n, _) | Ir.Accumulate (_, n, _) -> names := n :: !names
+        | Ir.Grad_weight _ -> ()
+        | Ir.For_each (_, b) -> List.iter walk b);
+        List.iter
+          (Ir.iter_expr (function
+            | Ir.Feature (_, n) | Ir.Data (_, n) -> names := n :: !names
+            | _ -> ()))
+          (Ir.stmt_exprs st)
+      in
+      List.iter walk body;
+      !names
+
+(* --- full-definition analysis (create_uninit safety) ----------------
+
+   A buffer may be backed by uninitialized storage when the first step that
+   touches it writes every row before anything reads it.  We prove this
+   only for the clear-cut cases; anything else conservatively keeps the
+   zero fill. *)
+
+let body_reads name body =
+  List.exists
+    (fun st ->
+      (match st with
+      | Ir.Accumulate (_, n, _) -> String.equal n name (* read-modify-write *)
+      | _ -> false)
+      || List.exists
+           (Ir.exists_expr (function
+             | Ir.Feature (_, n) | Ir.Data (_, n) -> String.equal n name
+             | _ -> false))
+           (Ir.stmt_exprs st))
+    body
+
+(* Does [st], executed under [strategy], assign every row of buffer [b]?
+   Edge sweeps (edge-parallel, or node-gather over the incoming CSR) visit
+   every edge, hence every edge row and every compact pair row (each pair
+   has at least one edge); node maps visit every node row. *)
+let covering_assign (b : Plan.buffer) strategy st =
+  match (st, strategy) with
+  | Ir.Assign (Ir.Cur_edge, n, _), (Ts.Edge_parallel | Ts.Node_gather) ->
+      String.equal n b.Plan.name
+      && (match b.Plan.space with
+         | Mat.Rows_edges | Mat.Rows_compact_src | Mat.Rows_compact_dst -> true
+         | Mat.Rows_nodes -> false)
+  | Ir.Assign (Ir.Cur_node, n, _), Ts.Node_map ->
+      String.equal n b.Plan.name && b.Plan.space = Mat.Rows_nodes
+  | _ -> false
+
+let fully_defined_by (b : Plan.buffer) step =
+  let n = b.Plan.name in
+  match step with
+  | Plan.Gemm { Gs.task = Gs.Node_linear { input; output; accumulate; _ }; _ } ->
+      (* segment-MM over all node-type segments writes every node row *)
+      String.equal output n && (not accumulate) && not (String.equal (Gs.operand_name input) n)
+  | Plan.Gemm { Gs.task = Gs.Edge_linear { input; output; per_row_scalar; _ }; _ } ->
+      (* one segment per edge type covers every row of the output space *)
+      String.equal output n
+      && (not (String.equal (Gs.operand_name input) n))
+      && (match per_row_scalar with Some s -> not (String.equal s n) | None -> true)
+  | Plan.Gemm _ | Plan.Weight_op _ | Plan.Fallback _ -> false
+  | Plan.Traversal { Ts.strategy; body; _ } ->
+      (not (body_reads n body)) && List.exists (covering_assign b strategy) body
+
+(* --- interval coloring ---------------------------------------------- *)
+
+type slot_state = {
+  id : int;
+  mutable last_use : int;
+  space : Mat.space;  (* of the first member, for best-fit preference *)
+  dim : int;
+}
+
+let analyze (plan : Plan.t) : Plan.memory =
+  let steps = Array.of_list plan.Plan.steps in
+  let touched = Array.map step_vars steps in
+  let first = Hashtbl.create 16 and last = Hashtbl.create 16 in
+  Array.iteri
+    (fun i ns ->
+      List.iter
+        (fun n ->
+          if not (Hashtbl.mem first n) then Hashtbl.add first n i;
+          Hashtbl.replace last n i)
+        ns)
+    touched;
+  let interval n =
+    match Hashtbl.find_opt first n with
+    | Some f -> (f, Hashtbl.find last n)
+    | None -> (-1, -1)
+  in
+  (* color in order of first touch so "free before my first use" is the
+     only disjointness condition a candidate slot must satisfy *)
+  let order =
+    List.stable_sort
+      (fun (a : Plan.buffer) (b : Plan.buffer) ->
+        compare (fst (interval a.Plan.name)) (fst (interval b.Plan.name)))
+      plan.Plan.buffers
+  in
+  let next_slot = ref 0 in
+  let shareable : slot_state list ref = ref [] in
+  let assignment = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Plan.buffer) ->
+      let f, l = interval b.Plan.name in
+      let fresh ~shared =
+        let id = !next_slot in
+        incr next_slot;
+        if shared then
+          shareable := { id; last_use = l; space = b.Plan.space; dim = b.Plan.dim } :: !shareable;
+        id
+      in
+      let slot =
+        if (not b.Plan.temp) || f < 0 then
+          (* outputs live to the end of the run and untouched buffers have
+             no interval to reason about: dedicated storage *)
+          fresh ~shared:false
+        else begin
+          (* strict <: a slot freed after step [last_use] is rebindable
+             from step [last_use + 1] on *)
+          let free = List.filter (fun s -> s.last_use < f) !shareable in
+          let pick p = List.find_opt p free in
+          let candidate =
+            match pick (fun s -> s.space = b.Plan.space && s.dim = b.Plan.dim) with
+            | Some s -> Some s
+            | None -> (
+                match pick (fun s -> s.space = b.Plan.space) with
+                | Some s -> Some s
+                | None -> ( match pick (fun s -> s.dim = b.Plan.dim) with Some s -> Some s | None -> pick (fun _ -> true)))
+          in
+          match candidate with
+          | Some s ->
+              s.last_use <- l;
+              s.id
+          | None -> fresh ~shared:true
+        end
+      in
+      Hashtbl.replace assignment b.Plan.name slot)
+    order;
+  let placements =
+    List.map
+      (fun (b : Plan.buffer) ->
+        let f, l = interval b.Plan.name in
+        let uninit_ok =
+          (not b.Plan.zero_init) && f >= 0 && fully_defined_by b steps.(f)
+        in
+        { Plan.var = b.Plan.name; slot = Hashtbl.find assignment b.Plan.name; first = f; last = l; uninit_ok })
+      plan.Plan.buffers
+  in
+  { Plan.placements; num_slots = !next_slot }

@@ -319,11 +319,15 @@ let lower ?(context = empty_context) ?(keep = []) ?(gemm_schedule = Gemm_spec.de
       infos
   in
   let prologue = List.map (fun op -> Plan.Weight_op op) weight_ops in
-  {
-    Plan.name = program.name;
-    layout;
-    program;
-    buffers;
-    steps = prologue @ steps;
-    spaces = all_spaces;
-  }
+  let plan =
+    {
+      Plan.name = program.name;
+      layout;
+      program;
+      buffers;
+      steps = prologue @ steps;
+      spaces = all_spaces;
+      memory = None;
+    }
+  in
+  { plan with Plan.memory = Some (Buffer_plan.analyze plan) }

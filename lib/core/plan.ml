@@ -20,6 +20,21 @@ type step =
   | Traversal of Traversal_spec.t
   | Fallback of fallback
 
+(* Memory-planner metadata (see Buffer_plan): one placement per buffer,
+   recording its live range over the step list and the storage slot the
+   interval-graph coloring assigned it.  The types live here (not in
+   Buffer_plan) so a plan can carry its own analysis without a dependency
+   cycle. *)
+type placement = {
+  var : string;
+  slot : int;  (* storage slot id; temp buffers with disjoint ranges share *)
+  first : int;  (* index of the first step touching the buffer, -1 if none *)
+  last : int;  (* index of the last step touching the buffer, -1 if none *)
+  uninit_ok : bool;  (* fully overwritten by its defining step before any read *)
+}
+
+type memory = { placements : placement list; num_slots : int }
+
 type t = {
   name : string;
   layout : Layout.t;
@@ -27,6 +42,7 @@ type t = {
   buffers : buffer list;
   steps : step list;
   spaces : (Inter_ir.var * Materialization.space) list;
+  memory : memory option;
 }
 
 let step_name = function
@@ -73,6 +89,15 @@ let pp_buffer fmt (b : buffer) =
     (Materialization.space_name b.space) b.dim
     (if b.zero_init then " zero-init" else "")
     (if b.temp then " temp" else "")
+
+let pp_memory fmt (m : memory) =
+  Format.fprintf fmt "@[<v>memory plan: %d slots@," m.num_slots;
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "  %-14s slot=%-3d live=[%d,%d]%s@," p.var p.slot p.first p.last
+        (if p.uninit_ok then " uninit-ok" else ""))
+    m.placements;
+  Format.fprintf fmt "@]"
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>plan %s (layout %a)@," t.name Layout.pp t.layout;

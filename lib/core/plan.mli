@@ -31,6 +31,24 @@ type step =
   | Traversal of Traversal_spec.t
   | Fallback of fallback
 
+type placement = {
+  var : string;  (** buffer name *)
+  slot : int;  (** storage slot id assigned by the interval coloring *)
+  first : int;  (** index of the first step touching the buffer, -1 if none *)
+  last : int;  (** index of the last step touching the buffer, -1 if none *)
+  uninit_ok : bool;
+      (** the first-touching step provably overwrites every row before any
+          read, so backing storage needs no zeroing (see
+          {!Hector_tensor.Tensor.create_uninit}) *)
+}
+(** Where one buffer lives over the plan's step list — the output of the
+    {!Buffer_plan} liveness analysis.  Temp buffers with disjoint live
+    ranges are colored onto the same [slot]; the runtime backs each slot
+    with one arena allocation reused across runs. *)
+
+type memory = { placements : placement list; num_slots : int }
+(** The plan-lifetime memory plan: one placement per buffer. *)
+
 type t = {
   name : string;
   layout : Layout.t;
@@ -40,6 +58,9 @@ type t = {
   spaces : (Inter_ir.var * Materialization.space) list;
       (** row-space lookup for every variable the steps may touch,
           including context (forward-pass) variables *)
+  memory : memory option;
+      (** buffer liveness + slot coloring, filled in by lowering (None only
+          for hand-built plans; the runtime recomputes it on demand) *)
 }
 
 val step_name : step -> string
@@ -66,3 +87,6 @@ val preprocessing : t -> string list
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable plan dump (buffers + steps). *)
+
+val pp_memory : Format.formatter -> memory -> unit
+(** Human-readable memory-plan dump (slots + live ranges). *)

@@ -5,6 +5,7 @@ type t = {
   scale : float;
   mutable used : float;
   mutable peak : float;
+  mutable alloc_count : int;
 }
 
 exception Out_of_memory of { requested_gb : float; used_gb : float; capacity_gb : float }
@@ -12,10 +13,11 @@ exception Out_of_memory of { requested_gb : float; used_gb : float; capacity_gb 
 let create ~capacity_bytes ~scale =
   if capacity_bytes <= 0.0 then invalid_arg "Memory.create: capacity must be positive";
   if scale < 1.0 then invalid_arg "Memory.create: scale must be >= 1";
-  { capacity = capacity_bytes; scale; used = 0.0; peak = 0.0 }
+  { capacity = capacity_bytes; scale; used = 0.0; peak = 0.0; alloc_count = 0 }
 
 let alloc t ?(graph_proportional = true) ~label bytes =
   if bytes < 0.0 then invalid_arg "Memory.alloc: negative size";
+  t.alloc_count <- t.alloc_count + 1;
   let logical = if graph_proportional then bytes *. t.scale else bytes in
   if t.used +. logical > t.capacity then
     raise
@@ -37,5 +39,6 @@ let free t a =
 
 let used_bytes t = t.used
 let peak_bytes t = t.peak
+let alloc_count t = t.alloc_count
 let capacity_bytes t = t.capacity
 let reset_peak t = t.peak <- t.used

@@ -33,6 +33,11 @@ val used_bytes : t -> float
 val peak_bytes : t -> float
 (** High-water mark of logical usage. *)
 
+val alloc_count : t -> int
+(** Total number of {!alloc} calls since creation — the statistic behind
+    the "steady-state training allocates nothing" check: once the plan
+    arenas exist, further [run_plan] calls must not move this counter. *)
+
 val capacity_bytes : t -> float
 (** Device capacity. *)
 

@@ -12,19 +12,44 @@ module Plan = Hector_core.Plan
 module Lf = Hector_core.Linear_fusion
 module Mg = Hector_graph.Metagraph
 module Dp = Hector_tensor.Domain_pool
+module Bp = Hector_core.Buffer_plan
 
 type value = Scalar of float | Vector of float array
 
 type opaque_fn = value list -> value
+
+(* --- plan-lifetime arena (see run_plan below) ----------------------- *)
+
+(* One plan buffer backed by a storage-slot view. *)
+type managed = {
+  mbuf : Plan.buffer;
+  mview : Tensor.t;  (* [rows × dim] view into the slot backing *)
+  muninit : bool;  (* fully defined by its first-touching step: skip zeroing *)
+  mutable minitialized : bool;  (* has the view ever been zero-filled/bound *)
+}
+
+type arena = {
+  abind : managed list array;  (* step index -> buffers bound before the step *)
+  aunbind : string list array;  (* step index -> temps unbound after the step *)
+  apre : managed list;  (* buffers no step touches: bound at run start *)
+  aother : Plan.buffer list;  (* plan buffers the arena does not manage *)
+}
 
 type t = {
   engine : Engine.t;
   ctx : Graph_ctx.t;
   env : Env.t;
   opaque : (string * opaque_fn) list;
+  planner : bool;
+  mutable arenas : (Plan.t * bool * arena) list;
 }
 
-let create ?(opaque = []) ~engine ~ctx ~env () = { engine; ctx; env; opaque }
+let planner_default () =
+  match Sys.getenv_opt "HECTOR_ARENA" with Some "0" -> false | _ -> true
+
+let create ?(opaque = []) ?planner ~engine ~ctx ~env () =
+  let planner = match planner with Some p -> p | None -> planner_default () in
+  { engine; ctx; env; opaque; planner; arenas = [] }
 
 let value_dim = function Scalar _ -> 1 | Vector v -> Array.length v
 
@@ -953,19 +978,6 @@ let etype_ranges t space =
       List.init net (fun r -> (r, Cm.pairs_of_etype t.ctx.Graph_ctx.compact_dst r))
   | Mat.Rows_nodes -> fail "etype_ranges: node space"
 
-(* node id feeding row [i] of an edge-space tensor *)
-let row_node_ids t space side (start, count) =
-  let g = t.ctx.Graph_ctx.graph in
-  match space with
-  | Mat.Rows_edges ->
-      let arr = match side with `Src -> g.G.src | `Dst -> g.G.dst in
-      Array.init count (fun i -> arr.(start + i))
-  | Mat.Rows_compact_src ->
-      Array.init count (fun i -> t.ctx.Graph_ctx.compact_src.Cm.pair_src.(start + i))
-  | Mat.Rows_compact_dst ->
-      Array.init count (fun i -> t.ctx.Graph_ctx.compact_dst.Cm.pair_src.(start + i))
-  | Mat.Rows_nodes -> fail "row_node_ids: node space"
-
 let operand_entry t op = Env.find t.env (Gs.operand_name op)
 
 let run_gemm t (spec : Gs.t) =
@@ -1004,10 +1016,12 @@ let run_gemm t (spec : Gs.t) =
       List.iter
         (fun (r, ((start, count) as range)) ->
           if count > 0 then begin
-            let ids = row_node_ids t out_space side range in
-            let xg = Tensor.gather_rows x.Env.tensor ids in
+            let ids = Graph_ctx.endpoint_ids t.ctx out_space side range in
             let os = Tensor.sub_rows out.Env.tensor start count in
-            Tensor.matmul_into ~trans_b:transpose xg (Tensor.slice0 wstack r) os;
+            (* gather applied on the fly inside the GEMM row loop (§4.2):
+               no per-edge copy of the node features is ever materialized *)
+            Tensor.matmul_gather_into ~trans_b:transpose x.Env.tensor ~idx:ids
+              (Tensor.slice0 wstack r) os;
             match per_row_scalar with
             | None -> ()
             | Some sname ->
@@ -1033,10 +1047,13 @@ let run_gemm t (spec : Gs.t) =
       List.iter
         (fun (r, ((start, count) as range)) ->
           if count > 0 then begin
-            let ids = row_node_ids t grad_out_space side range in
+            let ids = Graph_ctx.endpoint_ids t.ctx grad_out_space side range in
             let dys = Tensor.sub_rows dy.Env.tensor start count in
-            let contrib = Tensor.matmul ~trans_b:transpose dys (Tensor.slice0 wstack r) in
-            Tensor.scatter_rows_add ~into:dx.Env.tensor ids contrib
+            (* scatter-add applied on the fly: the per-relation [count × dim]
+               contribution matrix of the materialize-then-scatter scheme is
+               never allocated *)
+            Tensor.matmul_scatter_add_into ~trans_b:transpose dys (Tensor.slice0 wstack r)
+              ~idx:ids dx.Env.tensor
           end)
         (etype_ranges t grad_out_space);
       let k = Tensor.dim wstack 1 and n = Tensor.dim wstack 2 in
@@ -1057,10 +1074,11 @@ let run_gemm t (spec : Gs.t) =
       List.iter
         (fun (r, ((start, count) as range)) ->
           if count > 0 then begin
-            let ids = row_node_ids t grad_out_space side range in
-            let xg = Tensor.gather_rows x.Env.tensor ids in
+            let ids = Graph_ctx.endpoint_ids t.ctx grad_out_space side range in
             let dys = Tensor.sub_rows dy.Env.tensor start count in
-            Tensor.matmul_into ~trans_a:true ~beta:1.0 xg dys (Tensor.slice0 dw r)
+            (* transpose-aware gather: dW += X[idx]ᵀ dY without gathering X *)
+            Tensor.matmul_gather_t_into ~beta:1.0 x.Env.tensor ~idx:ids dys
+              (Tensor.slice0 dw r)
           end)
         (etype_ranges t grad_out_space);
       let k = x.Env.dim and n = dy.Env.dim in
@@ -1148,36 +1166,14 @@ let run_weight_op t op =
 (* buffers + plan driver                                               *)
 (* ------------------------------------------------------------------ *)
 
-(* variable names a step touches (locals excluded implicitly: they have no
-   buffer) — used for lifetime-based allocation *)
-let step_vars step =
-  match step with
-  | Plan.Weight_op _ -> []
-  | Plan.Gemm spec -> (
-      match spec.Gs.task with
-      | Gs.Node_linear { input; output; _ } -> [ Gs.operand_name input; output ]
-      | Gs.Edge_linear { input; output; per_row_scalar; _ } ->
-          (Gs.operand_name input :: output :: Option.to_list per_row_scalar)
-      | Gs.Edge_linear_dinput { grad_output; grad_input; _ } -> [ grad_output; grad_input ]
-      | Gs.Edge_linear_dweight { input; grad_output; _ } ->
-          [ Gs.operand_name input; grad_output ]
-      | Gs.Node_linear_dweight { input; grad_output; _ } ->
-          [ Gs.operand_name input; grad_output ])
-  | Plan.Traversal { Ts.body; _ } | Plan.Fallback { Plan.body; _ } ->
-      let names = ref [] in
-      let rec walk st =
-        (match st with
-        | Ir.Assign (_, n, _) | Ir.Accumulate (_, n, _) -> names := n :: !names
-        | Ir.Grad_weight _ -> ()
-        | Ir.For_each (_, b) -> List.iter walk b);
-        List.iter
-          (Ir.iter_expr (function
-            | Ir.Feature (_, n) | Ir.Data (_, n) -> names := n :: !names
-            | _ -> ()))
-          (Ir.stmt_exprs st)
-      in
-      List.iter walk body;
-      !names
+let launch_memset t name rows dim =
+  Engine.launch t.engine
+    (Kernel.make
+       ~name:("memset_" ^ name)
+       ~category:Kernel.Copy
+       ~grid_blocks:(max 1 (rows * dim / 256 / 256))
+       ~bytes_coalesced:(float_of_int (rows * dim * 4))
+       ())
 
 let alloc_buffer t (b : Plan.buffer) =
   let rows = Graph_ctx.rows_of_space t.ctx b.Plan.space in
@@ -1194,14 +1190,7 @@ let alloc_buffer t (b : Plan.buffer) =
           dim = b.Plan.dim;
           alloc = Some alloc;
         });
-  if b.Plan.zero_init then
-    Engine.launch t.engine
-      (Kernel.make
-         ~name:("memset_" ^ b.Plan.name)
-         ~category:Kernel.Copy
-         ~grid_blocks:(max 1 (rows * b.Plan.dim / 256 / 256))
-         ~bytes_coalesced:(float_of_int (rows * b.Plan.dim * 4))
-         ())
+  if b.Plan.zero_init then launch_memset t b.Plan.name rows b.Plan.dim
 
 let free_buffer t name =
   match Env.remove t.env name with
@@ -1213,48 +1202,151 @@ let free_temp_buffers t (plan : Plan.t) =
     (fun (b : Plan.buffer) -> if b.Plan.temp then free_buffer t b.Plan.name)
     plan.Plan.buffers
 
-let run_plan ?(free_temps = true) t (plan : Plan.t) =
-  (* lifetime-based materialization: a buffer exists from the first step
-     that touches it to the last, so disjoint temporaries never coexist —
-     the same behaviour a caching tensor allocator gives the real system *)
-  let steps = Array.of_list plan.Plan.steps in
-  let touched = Array.map step_vars steps in
-  let first_touch = Hashtbl.create 16 and last_touch = Hashtbl.create 16 in
-  Array.iteri
-    (fun i names ->
-      List.iter
-        (fun n ->
-          if not (Hashtbl.mem first_touch n) then Hashtbl.replace first_touch n i;
-          Hashtbl.replace last_touch n i)
-        names)
-    touched;
-  let buffer_of = Hashtbl.create 16 in
-  List.iter (fun (b : Plan.buffer) -> Hashtbl.replace buffer_of b.Plan.name b) plan.Plan.buffers;
-  (* buffers no step touches (defensive) are allocated up front *)
-  List.iter
-    (fun (b : Plan.buffer) ->
-      if not (Hashtbl.mem first_touch b.Plan.name) then alloc_buffer t b)
-    plan.Plan.buffers;
-  Array.iteri
-    (fun i step ->
-      List.iter
-        (fun n ->
-          match Hashtbl.find_opt buffer_of n with
-          | Some b when Hashtbl.find first_touch n = i -> alloc_buffer t b
-          | _ -> ())
-        touched.(i);
-      (match step with
-      | Plan.Weight_op op -> run_weight_op t op
-      | Plan.Gemm spec -> run_gemm t spec
-      | Plan.Traversal spec ->
-          run_traversal t ~program:plan.Plan.program ~layout:plan.Plan.layout spec
-      | Plan.Fallback f -> run_fallback t ~program:plan.Plan.program f);
-      if free_temps then
-        List.iter
-          (fun n ->
-            match Hashtbl.find_opt buffer_of n with
-            | Some b when b.Plan.temp && Hashtbl.find last_touch n = i -> free_buffer t n
-            | _ -> ())
-          touched.(i))
-    steps;
+let run_step t (plan : Plan.t) step =
+  match step with
+  | Plan.Weight_op op -> run_weight_op t op
+  | Plan.Gemm spec -> run_gemm t spec
+  | Plan.Traversal spec -> run_traversal t ~program:plan.Plan.program ~layout:plan.Plan.layout spec
+  | Plan.Fallback f -> run_fallback t ~program:plan.Plan.program f
+
+(* planner off: every plan buffer is allocated for the whole run — the
+   reference point the planner's peak-memory saving is measured against *)
+let run_plan_upfront ~free_temps t (plan : Plan.t) =
+  List.iter (fun (b : Plan.buffer) -> alloc_buffer t b) plan.Plan.buffers;
+  List.iter (run_step t plan) plan.Plan.steps;
   if free_temps then free_temp_buffers t plan
+
+(* --- plan-lifetime arena ---------------------------------------------
+
+   The planner path replaces per-run allocate/free churn with an arena
+   built once per (plan, free_temps mode) and reused by every subsequent
+   [run_plan]: one device allocation per storage slot of the
+   [Buffer_plan] coloring, sized for the largest buffer mapped to it.
+   Steady-state runs bind [Tensor.view]s of the slot backings into the
+   environment — no tensor allocation and no [Memory.alloc] on the hot
+   path.
+
+   Sharing is only sound when a buffer's value may die at its last use,
+   i.e. when the caller lets temporaries be freed ([free_temps = true]).
+   A training forward pass keeps every temporary alive for the backward
+   program, so its arena degrades to identity coloring: one slot per
+   buffer, same footprint the eager path had. *)
+
+let create_arena t (plan : Plan.t) ~shared =
+  let memory =
+    match plan.Plan.memory with Some m -> m | None -> Bp.analyze plan
+  in
+  let nsteps = List.length plan.Plan.steps in
+  let place_of = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Plan.placement) -> Hashtbl.replace place_of p.Plan.var p)
+    memory.Plan.placements;
+  (* buffers already bound in the environment (inputs, persistent outputs
+     of an earlier eager run, another plan's buffers) keep the eager
+     allocate-or-rezero behaviour; the arena manages only the rest *)
+  let members, aother =
+    List.partition_map
+      (fun (b : Plan.buffer) ->
+        match (Env.find_opt t.env b.Plan.name, Hashtbl.find_opt place_of b.Plan.name) with
+        | None, Some p -> Left (b, p)
+        | _ -> Right b)
+      plan.Plan.buffers
+  in
+  (* slot capacities: largest member mapped to each slot.  Identity slots
+     (no sharing) get fresh negative ids so they can never collide. *)
+  let slot_cap = Hashtbl.create 16 in
+  let next_ident = ref 0 in
+  let placed =
+    List.map
+      (fun ((b : Plan.buffer), (p : Plan.placement)) ->
+        let rows = Graph_ctx.rows_of_space t.ctx b.Plan.space in
+        let slot =
+          if shared then p.Plan.slot
+          else begin
+            decr next_ident;
+            !next_ident
+          end
+        in
+        (match Hashtbl.find_opt slot_cap slot with
+        | Some (r0, d0) when r0 * d0 >= rows * b.Plan.dim -> ()
+        | _ -> Hashtbl.replace slot_cap slot (rows, b.Plan.dim));
+        (b, p, rows, slot))
+      members
+  in
+  let backings = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun slot (rows, dim) ->
+      (* the backing is allocated once and lives as long as the executor;
+         its contents are undefined until a member is bound *)
+      ignore
+        (Engine.alloc_tensor t.engine
+           ~label:(Printf.sprintf "%s/arena_slot_%d" plan.Plan.name slot)
+           ~rows ~cols:dim ());
+      Hashtbl.replace backings slot (Tensor.create_uninit [| rows * dim |]))
+    slot_cap;
+  let abind = Array.make (max 1 nsteps) [] in
+  let aunbind = Array.make (max 1 nsteps) [] in
+  let apre = ref [] in
+  List.iter
+    (fun ((b : Plan.buffer), (p : Plan.placement), rows, slot) ->
+      let m =
+        {
+          mbuf = b;
+          mview = Tensor.view (Hashtbl.find backings slot) [| rows; b.Plan.dim |];
+          muninit = p.Plan.uninit_ok;
+          minitialized = false;
+        }
+      in
+      if p.Plan.first < 0 || nsteps = 0 then apre := m :: !apre
+      else begin
+        abind.(p.Plan.first) <- m :: abind.(p.Plan.first);
+        if shared && b.Plan.temp then
+          aunbind.(p.Plan.last) <- b.Plan.name :: aunbind.(p.Plan.last)
+      end)
+    placed;
+  { abind; aunbind; apre = !apre; aother }
+
+let find_arena t (plan : Plan.t) ~shared =
+  let rec lookup = function
+    | [] -> None
+    | (p, s, a) :: rest -> if p == plan && s = shared then Some a else lookup rest
+  in
+  match lookup t.arenas with
+  | Some a -> a
+  | None ->
+      let a = create_arena t plan ~shared in
+      t.arenas <- (plan, shared, a) :: t.arenas;
+      a
+
+(* Bind a managed buffer for this run, reproducing the zeroing semantics
+   of the eager path: accumulators ([zero_init]) are cleared (and charged
+   a memset launch) every run; other buffers start zeroed the first time
+   they exist — which for a freed-and-recreated temporary is every run —
+   unless the planner proved their defining step fully overwrites them. *)
+let bind_managed ~shared t (m : managed) =
+  let b = m.mbuf in
+  let needs_zero =
+    if b.Plan.zero_init then true
+    else if not m.minitialized then not m.muninit
+    else shared && b.Plan.temp && not m.muninit
+  in
+  if needs_zero then Tensor.fill m.mview 0.0;
+  m.minitialized <- true;
+  Env.add t.env ~name:b.Plan.name
+    { Env.tensor = m.mview; space = b.Plan.space; dim = b.Plan.dim; alloc = None };
+  if b.Plan.zero_init then launch_memset t b.Plan.name (Tensor.dim m.mview 0) b.Plan.dim
+
+let run_plan ?(free_temps = true) t (plan : Plan.t) =
+  if not t.planner then run_plan_upfront ~free_temps t plan
+  else begin
+    let arena = find_arena t plan ~shared:free_temps in
+    List.iter (fun b -> alloc_buffer t b) arena.aother;
+    List.iter (bind_managed ~shared:free_temps t) arena.apre;
+    List.iteri
+      (fun i step ->
+        List.iter (bind_managed ~shared:free_temps t) arena.abind.(i);
+        run_step t plan step;
+        if free_temps then List.iter (fun n -> free_buffer t n) arena.aunbind.(i))
+      plan.Plan.steps;
+    if free_temps then free_temp_buffers t plan
+  end

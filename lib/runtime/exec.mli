@@ -21,23 +21,46 @@ type value = Scalar of float | Vector of float array
 type opaque_fn = value list -> value
 (** Implementation of an {!Hector_core.Inter_ir.expr.Opaque} operator. *)
 
+type managed
+(** A plan buffer backed by an arena storage slot. *)
+
+type arena
+(** Plan-lifetime buffer storage: one device allocation per
+    {!Hector_core.Buffer_plan} storage slot, created on the first
+    [run_plan] of a plan and reused by every later run — steady-state runs
+    bind views into the environment instead of allocating. *)
+
 type t = {
   engine : Engine.t;
   ctx : Graph_ctx.t;
   env : Env.t;
   opaque : (string * opaque_fn) list;
+  planner : bool;
+  mutable arenas : (Hector_core.Plan.t * bool * arena) list;
 }
 
 val create :
-  ?opaque:(string * opaque_fn) list -> engine:Engine.t -> ctx:Graph_ctx.t -> env:Env.t -> unit -> t
+  ?opaque:(string * opaque_fn) list ->
+  ?planner:bool ->
+  engine:Engine.t ->
+  ctx:Graph_ctx.t ->
+  env:Env.t ->
+  unit ->
+  t
 (** Bundle an execution state.  [opaque] registers fallback operator
-    implementations by name. *)
+    implementations by name.  [planner] selects the plan-lifetime arena
+    path (default: on, unless the environment variable [HECTOR_ARENA] is
+    ["0"]); with it off, every [run_plan] allocates all plan buffers up
+    front and frees temporaries at the end. *)
 
 val run_plan : ?free_temps:bool -> t -> Hector_core.Plan.t -> unit
-(** Execute all steps in order: allocate (and zero) the plan's buffers,
+(** Execute all steps in order: materialize (and zero) the plan's buffers,
     run every step, then free buffers marked [temp] (default [true]).
-    Raises [Hector_gpu.Memory.Out_of_memory] when a buffer does not fit at
-    paper scale, and [Invalid_argument] on malformed plans. *)
+    With the planner on, buffer storage comes from a per-plan arena reused
+    across calls: the first call allocates one backing per storage slot of
+    the {!Hector_core.Plan.memory} coloring, later calls allocate nothing.
+    Raises [Hector_gpu.Memory.Out_of_memory] when the storage does not fit
+    at paper scale, and [Invalid_argument] on malformed plans. *)
 
 val free_temp_buffers : t -> Hector_core.Plan.t -> unit
 (** Release the plan's [temp]-marked buffers (used by training drivers that

@@ -18,6 +18,8 @@ type t = {
           so per-pair data is computed (and gradients accumulated) exactly
           once per pair. *)
   rep_dst : bool array;  (** destination-side analogue *)
+  gather_ids : (Hector_core.Materialization.space * [ `Src | `Dst ] * int * int, int array) Hashtbl.t;
+      (** memoized endpoint gather lists (see {!endpoint_ids}) *)
 }
 
 val create : Hetgraph.t -> t
@@ -29,6 +31,15 @@ val rows_of_space : t -> Hector_core.Materialization.space -> int
 val row_of_edge : t -> Hector_core.Materialization.space -> int -> int
 (** [row_of_edge t space e] locates edge [e]'s row in a tensor of the given
     edge space ([Rows_nodes] is invalid here). *)
+
+val endpoint_ids :
+  t -> Hector_core.Materialization.space -> [ `Src | `Dst ] -> int * int -> int array
+(** [endpoint_ids t space side (start, count)] is the node id feeding each
+    row of the [start .. start+count-1] range of an edge-space tensor — the
+    index array the fused gather/scatter GEMM kernels read.  Memoized per
+    (space, side, range): the §3.6 endpoint-gather-list preprocessing,
+    computed once per graph instead of once per GEMM step.  Callers must
+    not mutate the returned array. *)
 
 val compact_of_space :
   t -> Hector_core.Materialization.space -> Compact_map.t option

@@ -36,12 +36,12 @@ let rgcn_norm g =
   done;
   t
 
-let create ?(device = Hector_gpu.Device.rtx3090) ?(seed = 1) ?(trace = false) ?(node_inputs = [])
-    ?(edge_inputs = []) ?(weights = []) ~graph compiled =
+let create ?(device = Hector_gpu.Device.rtx3090) ?(seed = 1) ?(trace = false) ?memory_planner
+    ?(node_inputs = []) ?(edge_inputs = []) ?(weights = []) ~graph compiled =
   let engine = Engine.create ~device ~scale:graph.G.scale ~trace () in
   let ctx = Graph_ctx.create graph in
   let env = Env.create () in
-  let exec = Exec.create ~engine ~ctx ~env () in
+  let exec = Exec.create ?planner:memory_planner ~engine ~ctx ~env () in
   let rng = Rng.create seed in
   let program = compiled.Compiler.forward.Plan.program in
   let fused = fused_outs compiled.Compiler.weight_ops in

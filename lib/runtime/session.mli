@@ -15,6 +15,7 @@ val create :
   ?device:Hector_gpu.Device.t ->
   ?seed:int ->
   ?trace:bool ->
+  ?memory_planner:bool ->
   ?node_inputs:(string * Tensor.t) list ->
   ?edge_inputs:(string * Tensor.t) list ->
   ?weights:(string * Tensor.t) list ->
@@ -27,7 +28,9 @@ val create :
     initialized); node inputs with standard-normal entries; the
     conventional edge input ["norm"] with RGCN's [1/c_{v,r}]; other edge
     inputs uniform.  Weight and input device memory is charged to the
-    engine (weights unscaled, features graph-proportional).  Raises
+    engine (weights unscaled, features graph-proportional).
+    [memory_planner] selects the plan-lifetime arena execution path (see
+    {!Exec.create}); defaults to on unless [HECTOR_ARENA=0].  Raises
     [Hector_gpu.Memory.Out_of_memory] if the inputs alone exceed device
     memory at paper scale. *)
 

@@ -16,14 +16,40 @@ let product a = Array.fold_left ( * ) 1 a
 let check_shape shape =
   Array.iter (fun d -> if d < 0 then shape_error "negative dimension in shape") shape
 
+(* Lightweight instrumentation: fresh-buffer allocations and bulk row copies
+   (gather/scatter/concat traffic).  Atomic so parallel kernels can report;
+   bumped once per operation, never inside per-element loops. *)
+let alloc_counter = Atomic.make 0
+let copy_counter = Atomic.make 0
+
+let count_alloc () = Atomic.incr alloc_counter
+let count_copied bytes = if bytes > 0 then ignore (Atomic.fetch_and_add copy_counter bytes)
+
+let allocation_count () = Atomic.get alloc_counter
+let copied_bytes () = Atomic.get copy_counter
+
+let reset_counters () =
+  Atomic.set alloc_counter 0;
+  Atomic.set copy_counter 0
+
 let create shape =
   check_shape shape;
+  count_alloc ();
   { shape = Array.copy shape; offset = 0; data = Array.make (product shape) 0.0 }
+
+(* Uninitialized storage: contents are unspecified until written.  Only safe
+   when every element is overwritten before its first read — callers below
+   use it for outputs they fully define (map, matmul with beta=0, gather). *)
+let create_uninit shape =
+  check_shape shape;
+  count_alloc ();
+  { shape = Array.copy shape; offset = 0; data = Array.create_float (product shape) }
 
 let zeros = create
 
 let full shape v =
   check_shape shape;
+  count_alloc ();
   { shape = Array.copy shape; offset = 0; data = Array.make (product shape) v }
 
 let ones shape = full shape 1.0
@@ -96,6 +122,7 @@ let of_array shape data =
   check_shape shape;
   if Array.length data <> product shape then
     shape_error "of_array: %d elements vs shape product %d" (Array.length data) (product shape);
+  count_alloc ();
   { shape = Array.copy shape; offset = 0; data = Array.copy data }
 
 let of_2d rows_arr =
@@ -133,7 +160,20 @@ let is_view t = t.offset <> 0 || Array.length t.data <> numel t
 let to_flat_array t =
   Array.sub t.data t.offset (numel t)
 
-let copy t = { shape = Array.copy t.shape; offset = 0; data = to_flat_array t }
+let copy t =
+  count_alloc ();
+  { shape = Array.copy t.shape; offset = 0; data = to_flat_array t }
+
+(* Zero-copy prefix view used by the arena memory planner: interpret the
+   first [product shape'] elements of [t]'s backing store under a new shape.
+   The base must itself be a plain tensor (not a view). *)
+let view t shape' =
+  check_shape shape';
+  if t.offset <> 0 then shape_error "view: base tensor must not be a view";
+  if product shape' > Array.length t.data then
+    shape_error "view: %d elements exceed backing capacity %d" (product shape')
+      (Array.length t.data);
+  { shape = Array.copy shape'; offset = 0; data = t.data }
 
 let reshape t shape' =
   check_shape shape';
@@ -181,7 +221,7 @@ let same_shape a b = a.shape = b.shape
 
 let map f t =
   let n = numel t in
-  let out = create t.shape in
+  let out = create_uninit t.shape in
   Domain_pool.parallel_for ~grain:elt_grain n (fun lo hi ->
       for i = lo to hi - 1 do
         out.data.(i) <- f t.data.(t.offset + i)
@@ -191,7 +231,7 @@ let map f t =
 let map2 f a b =
   if not (same_shape a b) then shape_error "map2: shape mismatch";
   let n = numel a in
-  let out = create a.shape in
+  let out = create_uninit a.shape in
   Domain_pool.parallel_for ~grain:elt_grain n (fun lo hi ->
       for i = lo to hi - 1 do
         out.data.(i) <- f a.data.(a.offset + i) b.data.(b.offset + i)
@@ -267,9 +307,151 @@ let matmul_into ?(trans_a = false) ?(trans_b = false) ?(beta = 0.0) a b c =
 let matmul ?(trans_a = false) ?(trans_b = false) a b =
   let am = if trans_a then a.shape.(1) else a.shape.(0) in
   let bn = if trans_b then b.shape.(0) else b.shape.(1) in
-  let c = create [| am; bn |] in
+  let c = create_uninit [| am; bn |] in
   matmul_into ~trans_a ~trans_b a b c;
   c
+
+(* --- Fused access-scheme GEMM kernels (paper §4.2) ------------------
+   The gather, scatter and transpose access schemes are applied on the fly
+   inside the row-blocked tile loop, so the per-edge operand matrix is never
+   materialized.  Each kernel performs the floating-point operations in the
+   exact order of its materialize-then-matmul equivalent (per-row k-ascending
+   accumulation), so results are bitwise identical to the unfused path. *)
+
+(* c := A[idx] * B (+ beta*c), where A[idx] is the row-gathered view of [a]:
+   logical row i of the product reads physical row idx.(i) of [a]. *)
+let matmul_gather_into ?(trans_b = false) ?(beta = 0.0) a ~idx b c =
+  if ndim a <> 2 || ndim b <> 2 || ndim c <> 2 then
+    shape_error "matmul_gather_into: operands must be 2-D";
+  let m = Array.length idx in
+  let ak = a.shape.(1) in
+  let bk, bn = if trans_b then (b.shape.(1), b.shape.(0)) else (b.shape.(0), b.shape.(1)) in
+  if ak <> bk then shape_error "matmul_gather_into: inner dims %d vs %d" ak bk;
+  if c.shape.(0) <> m || c.shape.(1) <> bn then
+    shape_error "matmul_gather_into: output %dx%d vs expected %dx%d" c.shape.(0) c.shape.(1) m bn;
+  let arows = a.shape.(0) in
+  Array.iter
+    (fun r -> if r < 0 || r >= arows then shape_error "matmul_gather_into: row %d out of %d" r arows)
+    idx;
+  if beta = 0.0 then fill c 0.0
+  else if beta <> 1.0 then
+    Domain_pool.parallel_for ~grain:elt_grain (numel c) (fun lo hi ->
+        for i = lo to hi - 1 do
+          c.data.(c.offset + i) <- beta *. c.data.(c.offset + i)
+        done);
+  let acols = a.shape.(1) and bcols = b.shape.(1) and ccols = c.shape.(1) in
+  let row_flops = max 1 (ak * bn) in
+  Domain_pool.parallel_for ~grain:(max 1 (32768 / row_flops)) m (fun row_lo row_hi ->
+      for i = row_lo to row_hi - 1 do
+        let arow = a.offset + (idx.(i) * acols) in
+        let crow = c.offset + (i * ccols) in
+        for k = 0 to ak - 1 do
+          let aik = a.data.(arow + k) in
+          if aik <> 0.0 then
+            if trans_b then
+              for j = 0 to bn - 1 do
+                c.data.(crow + j) <- c.data.(crow + j) +. (aik *. b.data.(b.offset + (j * bcols) + k))
+              done
+            else
+              let brow = b.offset + (k * bcols) in
+              for j = 0 to bn - 1 do
+                c.data.(crow + j) <- c.data.(crow + j) +. (aik *. b.data.(brow + j))
+              done
+        done
+      done)
+
+(* Row idx.(i) of [c] accumulates row i of the product A*B: the scatter is
+   applied as each product row completes, through a per-domain row buffer
+   (so duplicate destinations keep their sequential accumulation order).
+   Parallelism is destination-partitioned over the pool, like
+   {!scatter_rows_add}: each domain owns a contiguous slice of [c]'s rows,
+   sweeps the whole index, and computes only the product rows that land in
+   its slice — no two domains ever write the same row. *)
+let matmul_scatter_add_into ?(trans_b = false) a b ~idx c =
+  if ndim a <> 2 || ndim b <> 2 || ndim c <> 2 then
+    shape_error "matmul_scatter_add_into: operands must be 2-D";
+  let m = a.shape.(0) in
+  if Array.length idx <> m then
+    shape_error "matmul_scatter_add_into: %d rows vs %d indices" m (Array.length idx);
+  let ak = a.shape.(1) in
+  let bk, bn = if trans_b then (b.shape.(1), b.shape.(0)) else (b.shape.(0), b.shape.(1)) in
+  if ak <> bk then shape_error "matmul_scatter_add_into: inner dims %d vs %d" ak bk;
+  if c.shape.(1) <> bn then
+    shape_error "matmul_scatter_add_into: output has %d cols, expected %d" c.shape.(1) bn;
+  let nrows = c.shape.(0) in
+  Array.iter
+    (fun r ->
+      if r < 0 || r >= nrows then shape_error "matmul_scatter_add_into: row %d out of %d" r nrows)
+    idx;
+  let acols = a.shape.(1) and bcols = b.shape.(1) and ccols = c.shape.(1) in
+  let body row_lo row_hi =
+    let buf = Array.make (max 1 bn) 0.0 in
+    for i = 0 to m - 1 do
+      let dst = idx.(i) in
+      if dst >= row_lo && dst < row_hi then begin
+        Array.fill buf 0 bn 0.0;
+        let arow = a.offset + (i * acols) in
+        for k = 0 to ak - 1 do
+          let aik = a.data.(arow + k) in
+          if aik <> 0.0 then
+            if trans_b then
+              for j = 0 to bn - 1 do
+                buf.(j) <- buf.(j) +. (aik *. b.data.(b.offset + (j * bcols) + k))
+              done
+            else
+              let brow = b.offset + (k * bcols) in
+              for j = 0 to bn - 1 do
+                buf.(j) <- buf.(j) +. (aik *. b.data.(brow + j))
+              done
+        done;
+        let dbase = c.offset + (dst * ccols) in
+        for j = 0 to bn - 1 do
+          c.data.(dbase + j) <- c.data.(dbase + j) +. buf.(j)
+        done
+      end
+    done
+  in
+  if Domain_pool.sequential () || m * bn <= elt_grain then body 0 nrows
+  else
+    Domain_pool.parallel_for ~grain:(row_grain (max 1 (m * bn / max 1 nrows))) nrows body
+
+(* c := A[idx]^T * B (+ beta*c) — the transpose access scheme composed with
+   the gather, used for weight gradients (dW += X[src]^T * dY). *)
+let matmul_gather_t_into ?(beta = 0.0) a ~idx b c =
+  if ndim a <> 2 || ndim b <> 2 || ndim c <> 2 then
+    shape_error "matmul_gather_t_into: operands must be 2-D";
+  let m = Array.length idx in
+  if b.shape.(0) <> m then
+    shape_error "matmul_gather_t_into: %d indices vs %d rows of b" m b.shape.(0);
+  let ak = a.shape.(1) and bn = b.shape.(1) in
+  if c.shape.(0) <> ak || c.shape.(1) <> bn then
+    shape_error "matmul_gather_t_into: output %dx%d vs expected %dx%d" c.shape.(0) c.shape.(1) ak bn;
+  let arows = a.shape.(0) in
+  Array.iter
+    (fun r ->
+      if r < 0 || r >= arows then shape_error "matmul_gather_t_into: row %d out of %d" r arows)
+    idx;
+  if beta = 0.0 then fill c 0.0
+  else if beta <> 1.0 then
+    Domain_pool.parallel_for ~grain:elt_grain (numel c) (fun lo hi ->
+        for i = lo to hi - 1 do
+          c.data.(c.offset + i) <- beta *. c.data.(c.offset + i)
+        done);
+  let acols = a.shape.(1) and bcols = b.shape.(1) and ccols = c.shape.(1) in
+  let row_flops = max 1 (m * bn) in
+  Domain_pool.parallel_for ~grain:(max 1 (32768 / row_flops)) ak (fun row_lo row_hi ->
+      for i = row_lo to row_hi - 1 do
+        let crow = c.offset + (i * ccols) in
+        for k = 0 to m - 1 do
+          let aik = a.data.(a.offset + (idx.(k) * acols) + i) in
+          if aik <> 0.0 then begin
+            let brow = b.offset + (k * bcols) in
+            for j = 0 to bn - 1 do
+              c.data.(crow + j) <- c.data.(crow + j) +. (aik *. b.data.(brow + j))
+            done
+          end
+        done
+      done)
 
 let dot a b =
   if numel a <> numel b then shape_error "dot: %d vs %d elements" (numel a) (numel b);
@@ -369,7 +551,8 @@ let argmax_rows m =
 let gather_rows m idx =
   let c = cols m in
   let r = rows m in
-  let out = create [| Array.length idx; c |] in
+  count_copied (Array.length idx * c * 8);
+  let out = create_uninit [| Array.length idx; c |] in
   Domain_pool.parallel_for ~grain:(row_grain c) (Array.length idx) (fun lo hi ->
       for i = lo to hi - 1 do
         let src_row = idx.(i) in
@@ -383,6 +566,7 @@ let scatter_rows_set ~into idx src =
   let c = cols into in
   if cols src <> c then shape_error "scatter_rows_set: column mismatch";
   if rows src <> Array.length idx then shape_error "scatter_rows_set: row/index mismatch";
+  count_copied (Array.length idx * c * 8);
   Array.iteri
     (fun i dst_row ->
       if dst_row < 0 || dst_row >= rows into then
@@ -433,7 +617,8 @@ let concat_cols a b =
   let r = rows a in
   if rows b <> r then shape_error "concat_cols: %d vs %d rows" r (rows b);
   let ca = cols a and cb = cols b in
-  let out = create [| r; ca + cb |] in
+  count_copied (r * (ca + cb) * 8);
+  let out = create_uninit [| r; ca + cb |] in
   for i = 0 to r - 1 do
     Array.blit a.data (a.offset + (i * ca)) out.data (i * (ca + cb)) ca;
     Array.blit b.data (b.offset + (i * cb)) out.data ((i * (ca + cb)) + ca) cb
@@ -443,7 +628,8 @@ let concat_cols a b =
 let split_cols m k =
   let r = rows m and c = cols m in
   if k < 0 || k > c then shape_error "split_cols: %d out of %d columns" k c;
-  let a = create [| r; k |] and b = create [| r; c - k |] in
+  count_copied (r * c * 8);
+  let a = create_uninit [| r; k |] and b = create_uninit [| r; c - k |] in
   for i = 0 to r - 1 do
     Array.blit m.data (m.offset + (i * c)) a.data (i * k) k;
     Array.blit m.data (m.offset + (i * c) + k) b.data (i * (c - k)) (c - k)

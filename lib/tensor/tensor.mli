@@ -22,6 +22,13 @@ val create : int array -> t
 (** [create shape] is a zero-filled tensor of the given shape.  Every
     dimension must be non-negative. *)
 
+val create_uninit : int array -> t
+(** [create_uninit shape] is a tensor whose contents are {b unspecified}
+    until written: the zeroing pass of {!create} is skipped.  Only use it
+    when every element is provably overwritten before its first read (e.g.
+    a GEMM output with [beta = 0], or a buffer the memory planner proves is
+    fully defined by its first-touching step). *)
+
 val zeros : int array -> t
 (** Synonym of {!create}. *)
 
@@ -107,6 +114,13 @@ val reshape : t -> int array -> t
 val copy : t -> t
 (** Deep copy (materializes views). *)
 
+val view : t -> int array -> t
+(** [view t shape'] is a zero-copy view of the first [product shape']
+    elements of [t]'s backing store under the new shape — the primitive the
+    arena memory planner uses to carve per-buffer tensors out of a shared
+    storage slot.  [t] must not itself be a view, and the new shape must
+    fit inside the backing store.  Mutating the view mutates [t]. *)
+
 val slice0 : t -> int -> t
 (** [slice0 t i] is a {e zero-copy view} of the [i]-th slice along the first
     dimension: for a [\[|T; K; N|\]] weight stack it is the [K×N] matrix of
@@ -181,6 +195,33 @@ val matmul : ?trans_a:bool -> ?trans_b:bool -> t -> t -> t
 val matmul_into : ?trans_a:bool -> ?trans_b:bool -> ?beta:float -> t -> t -> t -> unit
 (** [matmul_into a b c] computes [c := a*b + beta*c] (default [beta = 0]). *)
 
+(** {2 Fused access-scheme GEMM (paper §4.2)}
+
+    These kernels apply the gather / scatter / transpose access schemes
+    {e on the fly inside the row-blocked loop}, so the per-edge operand
+    matrix is never materialized.  Floating-point operations are performed
+    in the exact order of the materialize-then-matmul equivalent, so the
+    results are bitwise identical to the unfused path. *)
+
+val matmul_gather_into : ?trans_b:bool -> ?beta:float -> t -> idx:int array -> t -> t -> unit
+(** [matmul_gather_into a ~idx b c] computes [c := a\[idx\] * b + beta*c]
+    where [a\[idx\]] is the row-gathered view of [a] (logical row [i] reads
+    physical row [idx.(i)]) — equivalent to
+    [matmul_into (gather_rows a idx) b c] without the intermediate. *)
+
+val matmul_scatter_add_into : ?trans_b:bool -> t -> t -> idx:int array -> t -> unit
+(** [matmul_scatter_add_into a b ~idx c] accumulates row [i] of the product
+    [a*b] into row [idx.(i)] of [c] — equivalent to
+    [scatter_rows_add ~into:c idx (matmul a b)] without the intermediate.
+    Parallelism is destination-partitioned over the domain pool (like
+    {!scatter_rows_add}), so duplicate destinations accumulate in their
+    sequential order and no atomics are needed. *)
+
+val matmul_gather_t_into : ?beta:float -> t -> idx:int array -> t -> t -> unit
+(** [matmul_gather_t_into a ~idx b c] computes
+    [c := a\[idx\]ᵀ * b + beta*c] — the transpose access scheme composed
+    with the gather, used for weight gradients ([dW += X\[src\]ᵀ * dY]). *)
+
 val dot : t -> t -> float
 (** Inner product of two same-shape tensors viewed as flat vectors. *)
 
@@ -227,6 +268,23 @@ val concat_cols : t -> t -> t
 val split_cols : t -> int -> t * t
 (** [split_cols m k] splits a matrix into its first [k] and remaining
     columns (inverse of {!concat_cols}). *)
+
+(** {1 Instrumentation}
+
+    Cheap global counters behind the bench's allocation / bytes-copied
+    columns.  They are bumped once per operation (never inside per-element
+    loops) and are atomics, so parallel kernels report correctly. *)
+
+val allocation_count : unit -> int
+(** Fresh tensor buffers allocated since the last {!reset_counters}. *)
+
+val copied_bytes : unit -> int
+(** Bytes moved by bulk row-copy operations (gather, scatter-set, concat,
+    split) since the last {!reset_counters} — the materialization traffic
+    the fused access-scheme kernels exist to eliminate. *)
+
+val reset_counters : unit -> unit
+(** Zero both counters. *)
 
 (** {1 Comparison and printing} *)
 

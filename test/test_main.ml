@@ -9,6 +9,7 @@ let () =
       ("graph", Test_graph.suite);
       ("gpu", Test_gpu.suite);
       ("core", Test_core.suite);
+      ("buffer_plan", Test_buffer_plan.suite);
       ("runtime", Test_runtime.suite);
       ("baselines", Test_baselines.suite);
       ("models", Test_models.suite);
