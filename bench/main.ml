@@ -31,57 +31,58 @@ let experiments : (string * string * (H.t -> unit)) list =
    the real (wall-clock) execution of that experiment's core computation on
    a small fixed input. --- *)
 
+let micro_graph ?(seed = 11) () =
+  Hector_graph.Generator.generate
+    {
+      Hector_graph.Generator.name = "micro";
+      num_ntypes = 3;
+      num_etypes = 8;
+      num_nodes = 300;
+      num_edges = 1000;
+      compaction_target = 0.4;
+      scale = 1.0;
+      seed;
+    }
+
+let micro_compile ?obs ?(training = false) ~compact ~fusion model =
+  Hector_core.Compiler.compile ?obs
+    ~options:(Hector_core.Compiler.options_of_flags ~training ~compact ~fusion ())
+    (Hector_models.Model_defs.by_name model ~in_dim:32 ~out_dim:16 ())
+
+(* One microbenchmark: the measured closure, plus the session driving it
+   (when there is one) so the harness can also report simulated time. *)
+type micro_case = {
+  cname : string;
+  fn : unit -> unit;
+  csession : Hector_runtime.Session.t option;
+}
+
 let micro_cases () =
-  let graph =
-    Hector_graph.Generator.generate
-      {
-        Hector_graph.Generator.name = "micro";
-        num_ntypes = 3;
-        num_etypes = 8;
-        num_nodes = 300;
-        num_edges = 1000;
-        compaction_target = 0.4;
-        scale = 1.0;
-        seed = 11;
-      }
-  in
-  let compile ?(training = false) ~compact ~fusion model =
-    Hector_core.Compiler.compile
-      ~options:(Hector_core.Compiler.options_of_flags ~training ~compact ~fusion ())
-      (Hector_models.Model_defs.by_name model ~in_dim:32 ~out_dim:16 ())
-  in
+  let graph = micro_graph () in
   let session ?training ~compact ~fusion model =
-    Hector_runtime.Session.create ~seed:3 ~graph (compile ?training ~compact ~fusion model)
+    Hector_runtime.Session.create ~seed:3 ~graph (micro_compile ?training ~compact ~fusion model)
   in
-  let forward_case name ~compact ~fusion model =
+  let forward_case cname ~compact ~fusion model =
     let s = session ~compact ~fusion model in
-    (name, fun () -> ignore (Hector_runtime.Session.forward s))
+    { cname; fn = (fun () -> ignore (Hector_runtime.Session.forward s)); csession = Some s }
   in
   let labels = Array.init graph.Hector_graph.Hetgraph.num_nodes (fun i -> i mod 16) in
-  let train_case name model =
+  let train_case cname model =
     let s = session ~training:true ~compact:false ~fusion:false model in
-    (name, fun () -> ignore (Hector_runtime.Session.train_step s ~labels ()))
+    {
+      cname;
+      fn = (fun () -> ignore (Hector_runtime.Session.train_step s ~labels ()));
+      csession = Some s;
+    }
   in
+  let plain cname fn = { cname; fn; csession = None } in
   [
     (* Table 1 driver: compact-map construction *)
-    ("table1/compact_map", fun () -> ignore (Hector_graph.Compact_map.build graph));
+    plain "table1/compact_map" (fun () -> ignore (Hector_graph.Compact_map.build graph));
     (* Figure 1 driver: Hector HGT inference epoch *)
     forward_case "fig1/hgt_forward" ~compact:false ~fusion:false "hgt";
     (* Table 4 driver: dataset replica generation *)
-    ( "table4/generator",
-      fun () ->
-        ignore
-          (Hector_graph.Generator.generate
-             {
-               Hector_graph.Generator.name = "g";
-               num_ntypes = 3;
-               num_etypes = 8;
-               num_nodes = 300;
-               num_edges = 1000;
-               compaction_target = 0.4;
-               scale = 1.0;
-               seed = 1;
-             }) );
+    plain "table4/generator" (fun () -> ignore (micro_graph ~seed:1 ()));
     (* Figure 5 drivers: one epoch per model *)
     forward_case "fig5/rgcn_forward" ~compact:false ~fusion:false "rgcn";
     forward_case "fig5/rgat_forward" ~compact:false ~fusion:false "rgat";
@@ -90,16 +91,50 @@ let micro_cases () =
     forward_case "table5/rgat_compact" ~compact:true ~fusion:false "rgat";
     forward_case "table5/rgat_fused" ~compact:false ~fusion:true "rgat";
     (* Table 6 driver: compilation itself *)
-    ("table6/compile_rgat", fun () -> ignore (compile ~compact:true ~fusion:true "rgat"));
+    plain "table6/compile_rgat" (fun () ->
+        ignore (micro_compile ~compact:true ~fusion:true "rgat"));
     (* Figure 6 driver: the C+F configuration *)
     forward_case "fig6/rgat_compact_fused" ~compact:true ~fusion:true "rgat";
   ]
 
 type micro_result = {
   ns : float option;  (* ns/run (Bechamel OLS estimate) *)
+  sim_ms : float option;  (* simulated GPU time of one run (session cases) *)
   allocs : int;  (* tensor allocations in one steady-state run *)
   copied : int;  (* bytes moved by gather/scatter/copy in one run *)
 }
+
+(* --- observability snapshot (the "_meta" entry of BENCH_micro.json) ---
+
+   Re-runs the two flagship micro cases with tracing + observability
+   enabled on fresh sessions (the measured sessions stay obs-free so the
+   wall-clock numbers are undisturbed) and captures their metrics JSON and
+   a merged Chrome trace. *)
+
+let meta_snapshots () =
+  let snapshot name ~training ~compact ~fusion model =
+    let graph = micro_graph () in
+    let obs = Hector_obs.create () in
+    let compiled = micro_compile ~obs ~training ~compact ~fusion model in
+    let config =
+      {
+        Hector_runtime.Session.Config.default with
+        Hector_runtime.Session.Config.seed = 3;
+        trace = true;
+        observability = Some obs;
+      }
+    in
+    let s = Hector_runtime.Session.create ~config ~graph compiled in
+    (if training then
+       let labels = Array.init graph.Hector_graph.Hetgraph.num_nodes (fun i -> i mod 16) in
+       ignore (Hector_runtime.Session.train_step s ~labels ())
+     else ignore (Hector_runtime.Session.forward s));
+    (name, Hector_runtime.Session.metrics_json s, Hector_runtime.Session.chrome_trace s)
+  in
+  [
+    snapshot "fig5/rgcn_train" ~training:true ~compact:false ~fusion:false "rgcn";
+    snapshot "table5/rgat_compact" ~training:false ~compact:true ~fusion:false "rgat";
+  ]
 
 (* --- baseline comparison (--check) ---------------------------------
 
@@ -143,12 +178,21 @@ let read_baseline path =
            | None -> ()
            | Some q1 ->
                let name = String.sub line (q0 + 1) (q1 - q0 - 1) in
-               let ns =
-                 match substring_index line "\"ns\"" with
-                 | Some i -> float_after line (i + 4)
-                 | None -> float_after line (q1 + 1)
-               in
-               (match ns with Some v -> entries := (name, v) :: !entries | None -> ()))
+               (* the "_meta" entry is an observability snapshot, not a
+                  measurement — never part of the regression gate *)
+               if not (String.equal name "_meta") then begin
+                 let ns =
+                   match substring_index line "\"ns\"" with
+                   | Some i -> float_after line (i + 4)
+                   | None -> float_after line (q1 + 1)
+                 in
+                 let sim =
+                   match substring_index line "\"sim_ms\"" with
+                   | Some i -> float_after line (i + 8)
+                   | None -> None
+                 in
+                 if ns <> None || sim <> None then entries := (name, ns, sim) :: !entries
+               end)
      done
    with End_of_file -> close_in ic);
   List.rev !entries
@@ -157,17 +201,23 @@ let check_regressions ~baseline ~tolerance results =
   let regressions = ref [] in
   Printf.printf "\nRegression check against %d baseline entries (tolerance %+.0f%%):\n"
     (List.length baseline) (tolerance *. 100.0);
+  let compare_one name unit base est =
+    let ratio = est /. base in
+    let flag = if est > base *. (1.0 +. tolerance) then "REGRESSION" else "ok" in
+    if String.equal flag "REGRESSION" then regressions := (name ^ " " ^ unit) :: !regressions;
+    Printf.printf "  %-28s %12.3f -> %12.3f %s  (%5.2fx)  %s\n" name base est unit ratio flag
+  in
   List.iter
-    (fun (name, base_ns) ->
-      match List.assoc_opt name results with
-      | Some { ns = Some est; _ } ->
-          let ratio = est /. base_ns in
-          let flag = if est > base_ns *. (1.0 +. tolerance) then "REGRESSION" else "ok" in
-          if String.equal flag "REGRESSION" then regressions := name :: !regressions;
-          Printf.printf "  %-28s %12.1f -> %12.1f ns/run  (%5.2fx)  %s\n" name base_ns est
-            ratio flag
-      | Some { ns = None; _ } | None ->
-          Printf.printf "  %-28s %12.1f -> (no measurement)\n" name base_ns)
+    (fun (name, base_ns, base_sim) ->
+      let r = List.assoc_opt name results in
+      (match (base_ns, r) with
+      | Some base, Some { ns = Some est; _ } -> compare_one name "ns/run" base est
+      | Some base, _ -> Printf.printf "  %-28s %12.1f -> (no measurement)\n" name base
+      | None, _ -> ());
+      match (base_sim, r) with
+      | Some base, Some { sim_ms = Some est; _ } -> compare_one name "sim-ms" base est
+      | Some base, _ -> Printf.printf "  %-28s %12.3f -> (no simulated time)\n" name base
+      | None, _ -> ())
     baseline;
   match !regressions with
   | [] ->
@@ -180,13 +230,17 @@ let check_regressions ~baseline ~tolerance results =
 
 let run_micro ~json ~check ~tolerance () =
   let open Bechamel in
+  (* read the baseline first: with [--json --check FILE] pointing at the
+     same path, the comparison must see the committed numbers, not the
+     file this run is about to write *)
+  let baseline = Option.map read_baseline check in
   let cases = micro_cases () in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
   print_endline "Bechamel microbenchmarks (wall-clock of the real implementations):";
   let results =
     List.map
-      (fun (name, fn) ->
+      (fun { cname = name; fn; csession } ->
         let test = Test.make ~name (Staged.stage fn) in
         let measured =
           Benchmark.all cfg instances (Test.make_grouped ~name:"g" ~fmt:"%s %s" [ test ])
@@ -208,43 +262,67 @@ let run_micro ~json ~check ~tolerance () =
            per-step steady state, not first-run setup) *)
         let a0 = Hector_tensor.Tensor.allocation_count () in
         let c0 = Hector_tensor.Tensor.copied_bytes () in
+        (match csession with Some s -> Hector_runtime.Session.reset_clock s | None -> ());
         fn ();
         let allocs = Hector_tensor.Tensor.allocation_count () - a0 in
         let copied = Hector_tensor.Tensor.copied_bytes () - c0 in
+        let sim_ms =
+          Option.map
+            (fun s -> Hector_gpu.Engine.elapsed_ms (Hector_runtime.Session.engine s))
+            csession
+        in
         (match ns with
         | Some est ->
-            Printf.printf "  %-28s %12.1f ns/run %8d allocs %12d copied-bytes\n" name est
+            Printf.printf "  %-28s %12.1f ns/run %8d allocs %12d copied-bytes%s\n" name est
               allocs copied
+              (match sim_ms with Some s -> Printf.sprintf "  %10.3f sim-ms" s | None -> "")
         | None -> Printf.printf "  %-28s (no estimate) %8d allocs %12d copied-bytes\n" name
               allocs copied);
-        (name, { ns; allocs; copied }))
+        (name, { ns; sim_ms; allocs; copied }))
       cases
   in
   if json then begin
-    (* machine-readable perf trajectory: name -> {ns, allocs, copied_bytes} *)
+    (* machine-readable perf trajectory: name -> {ns, sim_ms, allocs,
+       copied_bytes}, one entry per line, plus a "_meta" line holding the
+       observability snapshots of the flagship cases *)
+    let meta = meta_snapshots () in
     let buf = Buffer.create 1024 in
     Buffer.add_string buf "{\n";
     List.iteri
       (fun i (name, r) ->
         if i > 0 then Buffer.add_string buf ",\n";
         Buffer.add_string buf
-          (Printf.sprintf "  \"%s\": {\"ns\": %s, \"allocs\": %d, \"copied_bytes\": %d}"
+          (Printf.sprintf
+             "  \"%s\": {\"ns\": %s, \"sim_ms\": %s, \"allocs\": %d, \"copied_bytes\": %d}"
              (Hector_gpu.Engine.json_escape name)
              (match r.ns with Some e -> Printf.sprintf "%.1f" e | None -> "null")
+             (match r.sim_ms with Some s -> Printf.sprintf "%.6f" s | None -> "null")
              r.allocs r.copied))
       results;
-    Buffer.add_string buf "\n}\n";
+    Buffer.add_string buf ",\n  \"_meta\": {";
+    List.iteri
+      (fun i (name, metrics, _) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\": %s" (Hector_gpu.Engine.json_escape name) metrics))
+      meta;
+    Buffer.add_string buf "}\n}\n";
     let oc = open_out "BENCH_micro.json" in
     output_string oc (Buffer.contents buf);
     close_out oc;
-    Printf.printf "\nWrote BENCH_micro.json (%d entries, HECTOR_DOMAINS=%d)\n"
+    (* the matching timeline: simulated kernels (with per-launch provenance
+       args) merged with compiler/runtime wall-clock spans *)
+    let oc = open_out "BENCH_trace.json" in
+    (match meta with (_, _, trace) :: _ -> output_string oc trace | [] -> ());
+    close_out oc;
+    Printf.printf "\nWrote BENCH_micro.json (%d entries + _meta) and BENCH_trace.json (HECTOR_DOMAINS=%d)\n"
       (List.length results)
       (Hector_tensor.Domain_pool.num_domains ())
   end;
-  match check with
-  | None -> ()
-  | Some path ->
-      if not (check_regressions ~baseline:(read_baseline path) ~tolerance results) then exit 1
+  match (check, baseline) with
+  | Some _, Some baseline ->
+      if not (check_regressions ~baseline ~tolerance results) then exit 1
+  | _ -> ()
 
 (* --- CLI ---------------------------------------------------------- *)
 
@@ -257,16 +335,21 @@ let usage () =
     "\nOther flags:\n\
     \  --micro          run the Bechamel wall-clock microbenchmarks instead\n\
     \  --json           with --micro: write BENCH_micro.json\n\
-    \                   (name -> {ns, allocs, copied_bytes})\n\
-    \  --check FILE     with --micro: compare against a baseline\n\
-    \                   BENCH_micro.json; exit 1 on any regression\n\
+    \                   (name -> {ns, sim_ms, allocs, copied_bytes}, plus a\n\
+    \                   \"_meta\" observability snapshot) and BENCH_trace.json\n\
+    \                   (Chrome trace: simulated kernels + compiler spans)\n\
+    \  --check FILE     with --micro: compare wall-clock and simulated time\n\
+    \                   against a baseline BENCH_micro.json; exit 1 on any\n\
+    \                   regression\n\
     \  --tolerance T    with --check: allowed slowdown fraction\n\
     \                   before a result counts as a regression (default 0.25)\n\
     \  --max-nodes N    cap physical replica size (default 2000)\n\
     \  --max-edges N    cap physical replica size (default 6000)\n\
     \  --help           show this message\n\n\
-     The multicore backend is sized by HECTOR_DOMAINS (1 = sequential);\n\
-     HECTOR_ARENA=0 disables the plan-lifetime memory planner.\n"
+     Environment knobs (parsed by Hector_runtime.Knobs; see README):\n\
+    \  HECTOR_DOMAINS   multicore backend size (1 = sequential)\n\
+    \  HECTOR_ARENA     0 disables the plan-lifetime memory planner\n\
+    \  HECTOR_OBS       1 enables observability for knob-driven sessions\n"
 
 let cli_error fmt =
   Printf.ksprintf

@@ -35,9 +35,11 @@ let () =
   let program = Hector_models.Model_defs.rgat ~in_dim:64 ~out_dim:64 () in
   Format.printf "=== inter-operator IR ===@.%a@.@." Hector_core.Inter_ir.pp_program program;
 
-  (* 3. compile with compact materialization and linear-operator fusion *)
+  (* 3. compile with compact materialization and linear-operator fusion,
+     with an observability handle recording pass timings *)
+  let obs = Hector_obs.create () in
   let options = Compiler.options_of_flags ~compact:true ~fusion:true () in
-  let compiled = Compiler.compile ~options program in
+  let compiled = Compiler.compile ~obs ~options program in
   Format.printf "=== compiled plan (%d GEMM, %d traversal, %d fused weight products) ===@.%a@.@."
     (Plan.gemm_count compiled.Compiler.forward)
     (Plan.traversal_count compiled.Compiler.forward)
@@ -52,10 +54,24 @@ let () =
   |> List.iter print_endline;
   print_endline "  ...\n";
 
-  (* 5. run it on the simulated RTX 3090 *)
-  let session = Session.create ~seed:7 ~graph compiled in
+  (* 5. run it on the simulated RTX 3090.  Session.Config.t is the primary
+     configuration surface; passing the compile-time [obs] handle puts
+     compiler passes and plan runs on one timeline. *)
+  let config =
+    { Session.Config.default with seed = 7; trace = true; observability = Some obs }
+  in
+  let session = Session.create ~config ~graph compiled in
   let outputs = Session.forward session in
   let out = List.assoc "out" outputs in
   Format.printf "=== execution ===@.output tensor: %a@." Tensor.pp out;
   Format.printf "simulated time: %.3f ms@." (Engine.elapsed_ms (Session.engine session));
-  Format.printf "%a@." Stats.pp_breakdown (Engine.stats (Session.engine session))
+  Format.printf "%a@." Stats.pp_breakdown (Engine.stats (Session.engine session));
+
+  (* 6. per-op attribution: simulated time by model operation (sums to the
+     simulated clock), plus the wall-clock compiler-pass spans *)
+  print_endline "=== per-op simulated time ===";
+  Stats.by_op (Engine.stats (Session.engine session))
+  |> List.iter (fun (op, e) ->
+         Printf.printf "  %-16s %8.3f ms  (%d launches)\n" op e.Stats.time_ms e.Stats.launches);
+  print_endline "\n=== metrics snapshot (Session.metrics_json) ===";
+  print_endline (Session.metrics_json session)

@@ -37,18 +37,24 @@ type compiled = {
   weight_ops : Linear_fusion.weight_op list;
 }
 
-let compile ?(options = default_options) program =
+let compile ?(obs = Hector_obs.disabled) ?(options = default_options) program =
+  Hector_obs.time obs ~kind:"pass" "compile" @@ fun () ->
   (* canonicalize before checking: explicit zero-inits of accumulated
      variables (Listing-1 style) are dropped there, and the checker's shape
      rules apply to the accumulation form *)
-  let program = Loop_transform.canonicalize program in
-  ignore (Check.check_exn program);
+  let program =
+    Hector_obs.time obs ~kind:"pass" "loop_transform" (fun () ->
+        Loop_transform.canonicalize program)
+  in
+  ignore (Hector_obs.time obs ~kind:"pass" "check" (fun () -> Check.check_exn program));
   let program, weight_ops, fusion_rewrites =
     if options.linear_fusion then
-      let r = Linear_fusion.run program in
-      (* fusion may remove statements; re-fuse the surviving loops *)
-      (Loop_transform.fuse_adjacent r.Linear_fusion.program, r.Linear_fusion.weight_ops,
-       r.Linear_fusion.rewrites)
+      Hector_obs.time obs ~kind:"pass" "linear_fusion" (fun () ->
+          let r = Linear_fusion.run program in
+          (* fusion may remove statements; re-fuse the surviving loops *)
+          ( Loop_transform.fuse_adjacent r.Linear_fusion.program,
+            r.Linear_fusion.weight_ops,
+            r.Linear_fusion.rewrites ))
     else (program, [], 0)
   in
   Log.debug (fun m ->
@@ -56,7 +62,11 @@ let compile ?(options = default_options) program =
         program.Inter_ir.name
         (List.length program.Inter_ir.body)
         fusion_rewrites);
-  let backward_result = if options.training then Some (Autodiff.backward program) else None in
+  let backward_result =
+    if options.training then
+      Some (Hector_obs.time obs ~kind:"pass" "autodiff" (fun () -> Autodiff.backward program))
+    else None
+  in
   let keep =
     match backward_result with
     | None -> []
@@ -66,9 +76,10 @@ let compile ?(options = default_options) program =
     if options.prefer_node_gather then Loop_transform.nodeify program else program
   in
   let forward =
-    Lowering.lower ~keep ~gemm_schedule:options.gemm_schedule
-      ~traversal_schedule:options.traversal_schedule ~layout:options.layout ~weight_ops
-      forward_program
+    Hector_obs.time obs ~kind:"pass" "lowering.forward" (fun () ->
+        Lowering.lower ~obs ~keep ~gemm_schedule:options.gemm_schedule
+          ~traversal_schedule:options.traversal_schedule ~layout:options.layout ~weight_ops
+          forward_program)
   in
   let backward =
     Option.map
@@ -89,9 +100,10 @@ let compile ?(options = default_options) program =
         let context =
           { Lowering.spaces = forward.Plan.spaces @ pins; dims }
         in
-        Lowering.lower ~context ~gemm_schedule:options.gemm_schedule
-          ~traversal_schedule:options.traversal_schedule ~layout:options.layout ~weight_ops:[]
-          r.Autodiff.program)
+        Hector_obs.time obs ~kind:"pass" "lowering.backward" (fun () ->
+            Lowering.lower ~obs ~context ~gemm_schedule:options.gemm_schedule
+              ~traversal_schedule:options.traversal_schedule ~layout:options.layout
+              ~weight_ops:[] r.Autodiff.program))
       backward_result
   in
   Log.debug (fun m ->

@@ -45,7 +45,12 @@ type compiled = {
           back-propagate into the original weights) *)
 }
 
-val compile : ?options:options -> Inter_ir.program -> compiled
+val compile : ?obs:Hector_obs.t -> ?options:options -> Inter_ir.program -> compiled
 (** Compile a model program.  Raises [Invalid_argument] on programs that do
     not check and {!Autodiff.Unsupported} for untrainable constructs when
-    [training] is set. *)
+    [training] is set.
+
+    [obs] (default {!Hector_obs.disabled}) records one ["compile"] pass
+    span with nested children for each pipeline stage — [loop_transform],
+    [check], [linear_fusion], [autodiff], [lowering.forward]/[.backward]
+    (which in turn nest [materialization] and [buffer_plan]). *)

@@ -77,7 +77,8 @@ let edge_softmax m ~src ~out =
 
 (* --- entry point --- *)
 
-let model name ~params ~inputs ?(outputs = [ "out" ]) build =
+let model ?(obs = Hector_obs.disabled) name ~params ~inputs ?(outputs = [ "out" ]) build =
+  Hector_obs.time obs ~kind:"pass" "frontend" @@ fun () ->
   let m = { stmts = [] } in
   build m;
   let decls = inputs @ params in

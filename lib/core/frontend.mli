@@ -155,6 +155,7 @@ val edge_softmax : m -> src:string -> out:string -> unit
 (** {1 Entry point} *)
 
 val model :
+  ?obs:Hector_obs.t ->
   string ->
   params:Inter_ir.decl list ->
   inputs:Inter_ir.decl list ->
@@ -162,5 +163,6 @@ val model :
   (m -> unit) ->
   Inter_ir.program
 (** Build and validate a program.  [outputs] defaults to [\["out"\]].
+    [obs] records the build + validation as a ["frontend"] pass span.
     Raises [Invalid_argument] (from the checker) when the combinators were
     misused. *)

@@ -157,7 +157,8 @@ let opaque_name stmt =
 
 type counters = { mutable gemm : int; mutable traversal : int; mutable fallback : int }
 
-let lower ?(context = empty_context) ?(keep = []) ?(gemm_schedule = Gemm_spec.default_schedule)
+let lower ?(obs = Hector_obs.disabled) ?(context = empty_context) ?(keep = [])
+    ?(gemm_schedule = Gemm_spec.default_schedule)
     ?(traversal_schedule = Traversal_spec.default_schedule) ~layout ~weight_ops program =
   Gemm_spec.validate_schedule gemm_schedule;
   let infos = Check.check_exn program in
@@ -167,7 +168,10 @@ let lower ?(context = empty_context) ?(keep = []) ?(gemm_schedule = Gemm_spec.de
     List.filter (fun (v, _) -> List.exists (fun i -> (i.Check.scope, i.Check.name) = v) infos)
       context.spaces
   in
-  let own_spaces = Materialization.spaces ~inherit_from:pin layout program in
+  let own_spaces =
+    Hector_obs.time obs ~kind:"pass" "materialization" (fun () ->
+        Materialization.spaces ~inherit_from:pin layout program)
+  in
   let all_spaces = own_spaces @ context.spaces in
   let space_of v =
     match List.assoc_opt v all_spaces with
@@ -330,4 +334,7 @@ let lower ?(context = empty_context) ?(keep = []) ?(gemm_schedule = Gemm_spec.de
       memory = None;
     }
   in
-  { plan with Plan.memory = Some (Buffer_plan.analyze plan) }
+  let memory =
+    Hector_obs.time obs ~kind:"pass" "buffer_plan" (fun () -> Buffer_plan.analyze plan)
+  in
+  { plan with Plan.memory = Some memory }

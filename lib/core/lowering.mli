@@ -30,6 +30,7 @@ val empty_context : context
 (** No outside variables. *)
 
 val lower :
+  ?obs:Hector_obs.t ->
   ?context:context ->
   ?keep:Inter_ir.var list ->
   ?gemm_schedule:Gemm_spec.schedule ->
@@ -42,5 +43,6 @@ val lower :
     must stay materialized even if private to one instance (outputs are
     always kept; backward passes add the forward intermediates they read).
     [weight_ops] become prologue steps.  Schedules default to the template
-    defaults.  Raises [Invalid_argument] if the program does not
-    check. *)
+    defaults.  [obs] receives nested ["materialization"] and
+    ["buffer_plan"] pass spans.  Raises [Invalid_argument] if the program
+    does not check. *)

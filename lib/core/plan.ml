@@ -52,6 +52,36 @@ let step_name = function
   | Traversal t -> Traversal_spec.name t
   | Fallback f -> Printf.sprintf "fallback_%d" f.kid
 
+(* The first variable a statement list writes — the inter-op IR operator a
+   traversal/fallback step computes. *)
+let rec stmt_write = function
+  | Inter_ir.Assign (_, x, _) | Inter_ir.Accumulate (_, x, _) -> Some x
+  | Inter_ir.Grad_weight { name; _ } -> Some name
+  | Inter_ir.For_each (_, body) -> first_write body
+
+and first_write body = List.find_map stmt_write body
+
+let step_op step =
+  match step with
+  | Weight_op (Linear_fusion.Mat_vec { out; _ }) | Weight_op (Linear_fusion.Mat_mat { out; _ }) ->
+      out
+  | Gemm g -> (
+      match g.Gemm_spec.task with
+      | Gemm_spec.Node_linear { output; _ } | Gemm_spec.Edge_linear { output; _ } -> output
+      | Gemm_spec.Edge_linear_dinput { grad_input; _ } -> grad_input
+      | Gemm_spec.Edge_linear_dweight { grad_weight; _ }
+      | Gemm_spec.Node_linear_dweight { grad_weight; _ } ->
+          grad_weight)
+  | Traversal tr -> (
+      match first_write tr.Traversal_spec.body with Some x -> x | None -> step_name step)
+  | Fallback f -> ( match first_write f.body with Some x -> x | None -> f.description)
+
+let step_origin = function
+  | Weight_op _ -> "linear_fusion"
+  | Gemm _ -> "lowering.gemm"
+  | Traversal _ -> "lowering.traversal"
+  | Fallback _ -> "lowering.fallback"
+
 let gemm_count t =
   List.length (List.filter (function Gemm _ -> true | _ -> false) t.steps)
 

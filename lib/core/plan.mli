@@ -66,6 +66,18 @@ type t = {
 val step_name : step -> string
 (** Kernel/step identifier for reports. *)
 
+val step_op : step -> string
+(** The inter-op IR operator a step computes, for attribution: the output
+    variable of GEMM/weight-op steps, the first written variable of
+    traversal/fallback bodies.  Falls back to {!step_name} (traversals) or
+    the fallback description when the body writes nothing. *)
+
+val step_origin : step -> string
+(** The compiler component that emitted the step: ["linear_fusion"],
+    ["lowering.gemm"], ["lowering.traversal"] or ["lowering.fallback"] —
+    the [origin] field of the {!Hector_gpu.Kernel.provenance} the runtime
+    attaches to the step's launches. *)
+
 val gemm_count : t -> int
 (** Number of GEMM-template steps. *)
 

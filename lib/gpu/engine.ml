@@ -1,8 +1,11 @@
+module Obs = Hector_obs
+
 type event = {
   name : string;
   category : Kernel.category;
   start_ms : float;
   duration_ms : float;
+  prov : Kernel.provenance option;
 }
 
 type t = {
@@ -11,11 +14,12 @@ type t = {
   memory : Memory.t;
   stats : Stats.t;
   trace : bool;
+  obs : Obs.t;
   mutable events : event list;  (* newest first *)
   mutable clock_ms : float;
 }
 
-let create ?(device = Device.rtx3090) ?(scale = 1.0) ?(trace = false) () =
+let create ?(device = Device.rtx3090) ?(scale = 1.0) ?(trace = false) ?(obs = Obs.disabled) () =
   if scale < 1.0 then invalid_arg "Engine.create: scale must be >= 1";
   {
     device;
@@ -26,6 +30,7 @@ let create ?(device = Device.rtx3090) ?(scale = 1.0) ?(trace = false) () =
         ~scale;
     stats = Stats.create ();
     trace;
+    obs;
     events = [];
     clock_ms = 0.0;
   }
@@ -34,46 +39,87 @@ let device t = t.device
 let scale t = t.scale
 let memory t = t.memory
 let stats t = t.stats
+let obs t = t.obs
 let elapsed_ms t = t.clock_ms
 
-let reset_clock t =
+let reset_clock ?(keep_events = false) t =
   t.clock_ms <- 0.0;
-  t.events <- [];
+  if not keep_events then t.events <- [];
   Stats.reset t.stats
 
 let events t = List.rev t.events
 
-(* JSON string escaping: quotes, backslashes and control characters in
-   kernel names would otherwise produce invalid trace JSON. *)
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let json_escape = Obs.json_escape
 
-let to_chrome_trace t =
+let add_kernel_event buf e =
+  let args =
+    match e.prov with
+    | None -> ""
+    | Some p ->
+        Printf.sprintf ",\"args\":{\"op\":\"%s\",\"step\":%d,\"origin\":\"%s\"}"
+          (json_escape p.Kernel.op) p.Kernel.step (json_escape p.Kernel.origin)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1%s}"
+       (json_escape e.name)
+       (json_escape (Kernel.category_name e.category))
+       (e.start_ms *. 1e3) (e.duration_ms *. 1e3) args)
+
+let to_chrome_trace ?obs t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\"traceEvents\":[";
+  let n =
+    List.fold_left
+      (fun i e ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_kernel_event buf e;
+        i + 1)
+      0 (events t)
+  in
+  (* Wall-clock observability spans ride along on a second pid so Perfetto
+     shows simulated kernels and compiler/runtime phases as separate tracks. *)
+  (match obs with
+  | Some o when Obs.enabled o ->
+      ignore
+        (List.fold_left
+           (fun i ev ->
+             if i > 0 then Buffer.add_char buf ',';
+             Buffer.add_string buf ev;
+             i + 1)
+           n
+           (Obs.trace_events o ~pid:2))
+  | _ -> ());
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let metrics_json ?obs t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "{\"elapsed_ms\":%.6f" t.clock_ms);
+  Buffer.add_string buf (Printf.sprintf ",\"attributed_ms\":%.6f" (Stats.attributed_ms t.stats));
+  Buffer.add_string buf ",\"by_category\":{";
   List.iteri
-    (fun i e ->
+    (fun i (c, (e : Stats.entry)) ->
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
-        (Printf.sprintf
-           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1}"
-           (json_escape e.name)
-           (json_escape (Kernel.category_name e.category))
-           (e.start_ms *. 1e3) (e.duration_ms *. 1e3)))
-    (events t);
-  Buffer.add_string buf "]}";
+        (Printf.sprintf "\"%s\":{\"time_ms\":%.6f,\"launches\":%d}"
+           (Kernel.category_name c) e.Stats.time_ms e.Stats.launches))
+    (Stats.by_category t.stats);
+  Buffer.add_string buf "},\"by_op\":{";
+  List.iteri
+    (fun i (op, (e : Stats.entry)) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":{\"time_ms\":%.6f,\"launches\":%d}" (json_escape op)
+           e.Stats.time_ms e.Stats.launches))
+    (Stats.by_op t.stats);
+  Buffer.add_char buf '}';
+  (match obs with
+  | Some o when Obs.enabled o ->
+      Buffer.add_string buf (Printf.sprintf ",\"counters\":%s" (Obs.counters_json o));
+      Buffer.add_string buf (Printf.sprintf ",\"spans\":%s" (Obs.spans_json o))
+  | _ -> ());
+  Buffer.add_char buf '}';
   Buffer.contents buf
 
 let occupancy (d : Device.t) ~blocks ~threads_per_block =
@@ -115,12 +161,23 @@ let launch t k =
   let time = cost_ms t.device k' in
   if t.trace then
     t.events <-
-      { name = k.Kernel.name; category = k.Kernel.category; start_ms = t.clock_ms; duration_ms = time }
+      {
+        name = k.Kernel.name;
+        category = k.Kernel.category;
+        start_ms = t.clock_ms;
+        duration_ms = time;
+        prov = k.Kernel.prov;
+      }
       :: t.events;
   t.clock_ms <- t.clock_ms +. time;
+  Obs.add t.obs "engine.launches" 1;
   Stats.record t.stats k' ~time_ms:time ~flops:k'.Kernel.flops ~bytes:(Kernel.total_bytes k')
 
-let host_sync t ?(us = 5.0) () = t.clock_ms <- t.clock_ms +. (us *. 1e-3)
+let host_sync t ?(us = 5.0) () =
+  let time_ms = us *. 1e-3 in
+  t.clock_ms <- t.clock_ms +. time_ms;
+  Obs.add t.obs "engine.host_syncs" 1;
+  Stats.record_sync t.stats ~time_ms
 
 let alloc_tensor t ?(graph_proportional = true) ~label ~rows ~cols () =
   Memory.alloc t.memory ~graph_proportional ~label (float_of_int rows *. float_of_int cols *. 4.0)

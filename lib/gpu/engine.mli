@@ -6,15 +6,23 @@
     logical (paper) scale.
 
     The engine is deterministic: identical launch sequences give identical
-    elapsed times, so benchmark tables need no averaging over epochs. *)
+    elapsed times, so benchmark tables need no averaging over epochs.
+
+    Every clock advance is attributed: launches land in the per-op table
+    under their {!Kernel.provenance} op (or {!Kernel.unattributed}), host
+    syncs under {!Stats.sync_op} — so [Stats.attributed_ms] equals
+    {!elapsed_ms} up to floating-point reassociation. *)
 
 type t
 (** Mutable engine state. *)
 
-val create : ?device:Device.t -> ?scale:float -> ?trace:bool -> unit -> t
+val create :
+  ?device:Device.t -> ?scale:float -> ?trace:bool -> ?obs:Hector_obs.t -> unit -> t
 (** Fresh engine (default device {!Device.rtx3090}, default scale 1).
     With [trace:true] every launch is recorded on a timeline (see
-    {!events} / {!to_chrome_trace}). *)
+    {!events} / {!to_chrome_trace}).  [obs] (default {!Hector_obs.disabled})
+    receives launch/sync counters; a disabled handle costs one branch per
+    launch and allocates nothing. *)
 
 val device : t -> Device.t
 (** The simulated device. *)
@@ -27,32 +35,48 @@ val launch : t -> Kernel.t -> unit
 
 val host_sync : t -> ?us:float -> unit -> unit
 (** Charge a host-side synchronization/dispatch gap (e.g. a Python-loop
-    iteration between per-relation kernels in baseline systems). *)
+    iteration between per-relation kernels in baseline systems).  The gap
+    is attributed to the {!Stats.sync_op} pseudo-op so per-op times still
+    cover the whole clock. *)
 
 val elapsed_ms : t -> float
 (** Simulated time since creation or the last {!reset_clock}. *)
 
-val reset_clock : t -> unit
-(** Zero the clock and statistics (allocations stay). *)
+val reset_clock : ?keep_events:bool -> t -> unit
+(** Zero the clock and statistics (allocations stay).  Trace events are
+    dropped too, unless [keep_events:true] — the escape hatch for
+    accumulating a multi-phase timeline across resets. *)
 
 val stats : t -> Stats.t
 (** Live statistics accumulator. *)
+
+val obs : t -> Hector_obs.t
+(** The observability handle this engine reports counters to. *)
 
 type event = {
   name : string;
   category : Kernel.category;
   start_ms : float;  (** simulated start time *)
   duration_ms : float;
+  prov : Kernel.provenance option;  (** attribution of the traced launch *)
 }
 
 val events : t -> event list
 (** The recorded launch timeline, in execution order (empty unless the
     engine was created with [trace:true]). *)
 
-val to_chrome_trace : t -> string
+val to_chrome_trace : ?obs:Hector_obs.t -> t -> string
 (** Serialize the timeline as a Chrome-tracing JSON document
     (load in [chrome://tracing] or Perfetto).  Kernel names and categories
-    are JSON-escaped, so arbitrary names survive the round trip. *)
+    are JSON-escaped, so arbitrary names survive the round trip.
+    Simulated launches appear under pid 1 with their provenance in
+    ["args"]; when an enabled [obs] is given, its wall-clock spans are
+    merged in under pid 2. *)
+
+val metrics_json : ?obs:Hector_obs.t -> t -> string
+(** A single-line JSON metrics snapshot: [elapsed_ms], [attributed_ms],
+    per-category and per-op time/launch tables, plus — when an enabled
+    [obs] is given — its counters and nested pass/run spans. *)
 
 val json_escape : string -> string
 (** Escape a string for embedding in a JSON document (quotes, backslashes,

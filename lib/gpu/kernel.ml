@@ -10,6 +10,10 @@ let category_name = function
 
 let all_categories = [ Gemm; Traversal; Copy; Index; Fallback; Reduction ]
 
+type provenance = { op : string; step : int; origin : string }
+
+let provenance ?(step = -1) ~origin op = { op; step; origin }
+
 type t = {
   name : string;
   category : category;
@@ -20,11 +24,12 @@ type t = {
   bytes_gathered : float;
   bytes_atomic : float;
   graph_proportional : bool;
+  prov : provenance option;
 }
 
 let make ~name ~category ?(grid_blocks = 1) ?(threads_per_block = 256) ?(flops = 0.0)
     ?(bytes_coalesced = 0.0) ?(bytes_gathered = 0.0) ?(bytes_atomic = 0.0)
-    ?(graph_proportional = true) () =
+    ?(graph_proportional = true) ?provenance:prov () =
   if grid_blocks <= 0 || threads_per_block <= 0 then
     invalid_arg "Kernel.make: grid and block sizes must be positive";
   if flops < 0.0 || bytes_coalesced < 0.0 || bytes_gathered < 0.0 || bytes_atomic < 0.0 then
@@ -39,6 +44,11 @@ let make ~name ~category ?(grid_blocks = 1) ?(threads_per_block = 256) ?(flops =
     bytes_gathered;
     bytes_atomic;
     graph_proportional;
+    prov;
   }
 
 let total_bytes t = t.bytes_coalesced +. t.bytes_gathered +. t.bytes_atomic
+
+let unattributed = "(unattributed)"
+
+let op_of t = match t.prov with Some p -> p.op | None -> unattributed

@@ -20,6 +20,26 @@ val category_name : category -> string
 val all_categories : category list
 (** Fixed presentation order of the categories. *)
 
+type provenance = {
+  op : string;
+      (** the inter-op IR operator (output variable) this launch computes,
+          or a pseudo-operator (["loss"], ["sgd"], ["host_sync"]) for
+          runtime launches outside any plan *)
+  step : int;  (** plan step index that emitted the launch, [-1] if none *)
+  origin : string;
+      (** the compiler pass / runtime component that produced the kernel,
+          e.g. ["lowering.gemm"], ["linear_fusion"], ["runtime.memset"] *)
+}
+(** Where a kernel launch came from.  Attached at lowering/runtime time so
+    {!Stats} can attribute simulated time back to IR operators and passes
+    (the per-op breakdowns of the paper's evaluation). *)
+
+val provenance : ?step:int -> origin:string -> string -> provenance
+(** [provenance ~origin op] builds a tag (default [step = -1]). *)
+
+val unattributed : string
+(** The pseudo-op name launches without provenance are attributed to. *)
+
 type t = {
   name : string;  (** kernel identifier, e.g. ["gemm_3"] *)
   category : category;
@@ -32,6 +52,7 @@ type t = {
   graph_proportional : bool;
       (** when true the engine multiplies work, traffic and grid size by the
           graph's cost scale (logical-size accounting; see DESIGN.md) *)
+  prov : provenance option;  (** attribution tag, [None] for untagged launches *)
 }
 
 val make :
@@ -44,6 +65,7 @@ val make :
   ?bytes_gathered:float ->
   ?bytes_atomic:float ->
   ?graph_proportional:bool ->
+  ?provenance:provenance ->
   unit ->
   t
 (** Build a descriptor; work/traffic default to 0, geometry to one block of
@@ -52,3 +74,6 @@ val make :
 
 val total_bytes : t -> float
 (** Sum of the three traffic classes. *)
+
+val op_of : t -> string
+(** The provenance op of a kernel, or {!unattributed}. *)

@@ -13,10 +13,21 @@ let add_entry e ~time_ms ~flops ~bytes =
 type t = {
   mutable categories : (Kernel.category * entry) list;
   kernels : (string, entry) Hashtbl.t;
+  ops : (string, entry) Hashtbl.t;  (* provenance op -> aggregate, host syncs included *)
 }
 
+let sync_op = "host_sync"
+
 let create () =
-  { categories = List.map (fun c -> (c, empty_entry)) Kernel.all_categories; kernels = Hashtbl.create 64 }
+  {
+    categories = List.map (fun c -> (c, empty_entry)) Kernel.all_categories;
+    kernels = Hashtbl.create 64;
+    ops = Hashtbl.create 64;
+  }
+
+let add_op t op ~time_ms ~flops ~bytes =
+  let prev = Option.value (Hashtbl.find_opt t.ops op) ~default:empty_entry in
+  Hashtbl.replace t.ops op (add_entry prev ~time_ms ~flops ~bytes)
 
 let record t (k : Kernel.t) ~time_ms ~flops ~bytes =
   t.categories <-
@@ -24,7 +35,13 @@ let record t (k : Kernel.t) ~time_ms ~flops ~bytes =
       (fun (c, e) -> if c = k.Kernel.category then (c, add_entry e ~time_ms ~flops ~bytes) else (c, e))
       t.categories;
   let prev = Option.value (Hashtbl.find_opt t.kernels k.Kernel.name) ~default:empty_entry in
-  Hashtbl.replace t.kernels k.Kernel.name (add_entry prev ~time_ms ~flops ~bytes)
+  Hashtbl.replace t.kernels k.Kernel.name (add_entry prev ~time_ms ~flops ~bytes);
+  add_op t (Kernel.op_of k) ~time_ms ~flops ~bytes
+
+(* Syncs are clock time but not launches: bump only the time column. *)
+let record_sync t ~time_ms =
+  let prev = Option.value (Hashtbl.find_opt t.ops sync_op) ~default:empty_entry in
+  Hashtbl.replace t.ops sync_op { prev with time_ms = prev.time_ms +. time_ms }
 
 let total t =
   List.fold_left
@@ -45,9 +62,21 @@ let by_kernel t =
   let items = Hashtbl.fold (fun name e acc -> (name, e) :: acc) t.kernels [] in
   List.sort (fun (_, a) (_, b) -> compare b.time_ms a.time_ms) items
 
+let by_op t =
+  let items = Hashtbl.fold (fun op e acc -> (op, e) :: acc) t.ops [] in
+  List.sort
+    (fun (na, a) (nb, b) ->
+      match compare b.time_ms a.time_ms with 0 -> String.compare na nb | c -> c)
+    items
+
+let of_op t op = Option.value (Hashtbl.find_opt t.ops op) ~default:empty_entry
+
+let attributed_ms t = Hashtbl.fold (fun _ e acc -> acc +. e.time_ms) t.ops 0.0
+
 let reset t =
   t.categories <- List.map (fun c -> (c, empty_entry)) Kernel.all_categories;
-  Hashtbl.reset t.kernels
+  Hashtbl.reset t.kernels;
+  Hashtbl.reset t.ops
 
 let pp_breakdown fmt t =
   let tot = total t in

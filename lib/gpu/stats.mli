@@ -19,8 +19,18 @@ val create : unit -> t
 (** Empty statistics. *)
 
 val record : t -> Kernel.t -> time_ms:float -> flops:float -> bytes:float -> unit
-(** Account one launch under its category and kernel name (work quantities
-    are the scaled/logical ones actually charged by the engine). *)
+(** Account one launch under its category, kernel name and provenance op
+    (work quantities are the scaled/logical ones actually charged by the
+    engine).  Launches without provenance land on {!Kernel.unattributed}. *)
+
+val record_sync : t -> time_ms:float -> unit
+(** Account a host-side synchronization gap under the pseudo-op
+    {!sync_op}.  Syncs appear only in the per-op table (they are not
+    kernel launches), which is what makes {!attributed_ms} cover the whole
+    simulated clock. *)
+
+val sync_op : string
+(** The pseudo-op host syncs are attributed to (["host_sync"]). *)
 
 val total : t -> entry
 (** Aggregate over everything. *)
@@ -34,6 +44,19 @@ val of_category : t -> Kernel.category -> entry
 
 val by_kernel : t -> (string * entry) list
 (** Per-kernel-name entries sorted by descending time. *)
+
+val by_op : t -> (string * entry) list
+(** Per-provenance-op entries (host syncs included under {!sync_op}),
+    sorted by descending time then name.  Every millisecond the engine
+    charged to the clock appears in exactly one row, so the times sum to
+    {!Engine.elapsed_ms} (up to floating-point reassociation). *)
+
+val of_op : t -> string -> entry
+(** Aggregate of one provenance op (empty entry if never seen). *)
+
+val attributed_ms : t -> float
+(** Sum of the per-op times — the whole-clock attribution invariant
+    checked by the test suite. *)
 
 val reset : t -> unit
 (** Clear all counters. *)

@@ -1,0 +1,143 @@
+type span = {
+  name : string;
+  kind : string;
+  start_ms : float;
+  duration_ms : float;
+  children : span list;
+}
+
+(* In-flight/recorded spans, children kept newest-first until exported. *)
+type node = {
+  nname : string;
+  nkind : string;
+  nstart_ms : float;
+  mutable ndur_ms : float;
+  mutable nchildren : node list;  (* newest first *)
+}
+
+type t = {
+  on : bool;
+  origin : float;  (* Unix.gettimeofday at creation, seconds *)
+  mutable roots : node list;  (* newest first *)
+  mutable stack : node list;  (* innermost open span first *)
+  values : (string, int ref) Hashtbl.t;
+}
+
+let disabled =
+  { on = false; origin = 0.0; roots = []; stack = []; values = Hashtbl.create 1 }
+
+let create ?(enabled = true) () =
+  if not enabled then disabled
+  else
+    { on = true; origin = Unix.gettimeofday (); roots = []; stack = []; values = Hashtbl.create 16 }
+
+let enabled t = t.on
+
+let now_ms t = (Unix.gettimeofday () -. t.origin) *. 1e3
+
+let time t ~kind name f =
+  if not t.on then f ()
+  else begin
+    let n = { nname = name; nkind = kind; nstart_ms = now_ms t; ndur_ms = 0.0; nchildren = [] } in
+    t.stack <- n :: t.stack;
+    let finish () =
+      n.ndur_ms <- now_ms t -. n.nstart_ms;
+      (match t.stack with _ :: rest -> t.stack <- rest | [] -> ());
+      match t.stack with
+      | parent :: _ -> parent.nchildren <- n :: parent.nchildren
+      | [] -> t.roots <- n :: t.roots
+    in
+    Fun.protect ~finally:finish f
+  end
+
+let add t name n =
+  if t.on then
+    match Hashtbl.find_opt t.values name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add t.values name (ref n)
+
+let counter t name = match Hashtbl.find_opt t.values name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.values []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* nodes are accumulated newest-first; export in chronological order *)
+let rec export (n : node) =
+  {
+    name = n.nname;
+    kind = n.nkind;
+    start_ms = n.nstart_ms;
+    duration_ms = n.ndur_ms;
+    children = List.rev_map export n.nchildren;
+  }
+
+let spans t = List.rev_map export t.roots
+
+let reset t =
+  t.roots <- [];
+  t.stack <- [];
+  Hashtbl.reset t.values
+
+(* --- export ------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec add_span_json buf s =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":\"%s\",\"kind\":\"%s\",\"start_ms\":%.3f,\"duration_ms\":%.3f,\"children\":["
+       (json_escape s.name) (json_escape s.kind) s.start_ms s.duration_ms);
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_span_json buf c)
+    s.children;
+  Buffer.add_string buf "]}"
+
+let spans_json t =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_span_json buf s)
+    (spans t);
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
+let counters_json t =
+  let buf = Buffer.create 128 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (json_escape k) v))
+    (counters t);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let trace_events t ~pid =
+  let acc = ref [] in
+  let rec walk s =
+    acc :=
+      Printf.sprintf
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":1}"
+        (json_escape s.name) (json_escape s.kind) (s.start_ms *. 1e3) (s.duration_ms *. 1e3) pid
+      :: !acc;
+    List.iter walk s.children
+  in
+  List.iter walk (spans t);
+  List.rev !acc

@@ -42,14 +42,24 @@ type t = {
   opaque : (string * opaque_fn) list;
   planner : bool;
   mutable arenas : (Plan.t * bool * arena) list;
+  mutable cur_prov : Kernel.provenance option;
 }
 
-let planner_default () =
-  match Sys.getenv_opt "HECTOR_ARENA" with Some "0" -> false | _ -> true
+let planner_default () = (Knobs.current ()).Knobs.arena
 
 let create ?(opaque = []) ?planner ~engine ~ctx ~env () =
   let planner = match planner with Some p -> p | None -> planner_default () in
-  { engine; ctx; env; opaque; planner; arenas = [] }
+  { engine; ctx; env; opaque; planner; arenas = []; cur_prov = None }
+
+(* Launch a kernel under the provenance of the step being executed (set by
+   [run_step]); kernels that carry their own tag keep it. *)
+let launch_attr t (k : Kernel.t) =
+  let k =
+    match (k.Kernel.prov, t.cur_prov) with
+    | None, Some _ -> { k with Kernel.prov = t.cur_prov }
+    | _ -> k
+  in
+  Engine.launch t.engine k
 
 let value_dim = function Scalar _ -> 1 | Vector v -> Array.length v
 
@@ -889,7 +899,7 @@ let run_traversal t ~program ~layout (spec : Ts.t) =
     | Ts.Node_gather -> max 1 g.G.num_nodes
     | _ -> max 1 ((iters + 255) / 256)
   in
-  Engine.launch t.engine
+  launch_attr t
     (Kernel.make ~name:(Ts.name spec) ~category:Kernel.Traversal ~grid_blocks:blocks
        ~threads_per_block:256 ~flops:total.flops ~bytes_coalesced:total.coalesced
        ~bytes_gathered:total.gathered ~bytes_atomic:total.atomic ())
@@ -925,7 +935,7 @@ let run_fallback t ~program (f : Plan.fallback) =
   in
   let avg_dim = 16.0 (* intermediate rows materialized between op kernels *) in
   for i = 0 to max 0 (ops - 1) do
-    Engine.launch t.engine
+    launch_attr t
       (Kernel.make
          ~name:(Printf.sprintf "fallback_%d_op%d" f.Plan.kid i)
          ~category:Kernel.Fallback
@@ -1005,7 +1015,7 @@ let run_gemm t (spec : Gs.t) =
         segments;
       let k = Tensor.dim wstack 1 and n = Tensor.dim wstack 2 in
       let k, n = if transpose then (n, k) else (k, n) in
-      Engine.launch t.engine
+      launch_attr t
         (gemm_cost ~name:(Gs.name spec) ~rows:g.G.num_nodes ~k ~n ~schedule ~gathered_in:false
            ~scatter_out:false ~atomic_out:false ~accumulate)
   | Gs.Edge_linear { side; input; weight; output; out_space; transpose; per_row_scalar } ->
@@ -1036,7 +1046,7 @@ let run_gemm t (spec : Gs.t) =
         (etype_ranges t out_space);
       let k = Tensor.dim wstack 1 and n = Tensor.dim wstack 2 in
       let k, n = if transpose then (n, k) else (k, n) in
-      Engine.launch t.engine
+      launch_attr t
         (gemm_cost ~name:(Gs.name spec) ~rows ~k ~n ~schedule ~gathered_in:true
            ~scatter_out:false ~atomic_out:false ~accumulate:false)
   | Gs.Edge_linear_dinput { side; weight; grad_output; grad_out_space; grad_input; transpose } ->
@@ -1058,7 +1068,7 @@ let run_gemm t (spec : Gs.t) =
         (etype_ranges t grad_out_space);
       let k = Tensor.dim wstack 1 and n = Tensor.dim wstack 2 in
       let k, n = if transpose then (n, k) else (k, n) in
-      Engine.launch t.engine
+      launch_attr t
         (let kern =
            gemm_cost ~name:(Gs.name spec) ~rows ~k ~n ~schedule ~gathered_in:false
              ~scatter_out:true ~atomic_out:true ~accumulate:true
@@ -1082,7 +1092,7 @@ let run_gemm t (spec : Gs.t) =
           end)
         (etype_ranges t grad_out_space);
       let k = x.Env.dim and n = dy.Env.dim in
-      Engine.launch t.engine
+      launch_attr t
         (gemm_cost ~name:(Gs.name spec) ~rows ~k ~n ~schedule ~gathered_in:true
            ~scatter_out:false ~atomic_out:false ~accumulate:true)
   | Gs.Node_linear_dweight { input; slice; grad_output; grad_weight } ->
@@ -1101,7 +1111,7 @@ let run_gemm t (spec : Gs.t) =
             let dys = Tensor.sub_rows dy.Env.tensor start count in
             Tensor.matmul_into ~trans_a:true ~beta:1.0 xs dys (Tensor.slice0 dw sl))
         segments;
-      Engine.launch t.engine
+      launch_attr t
         (gemm_cost ~name:(Gs.name spec) ~rows:g.G.num_nodes ~k:x.Env.dim ~n:dy.Env.dim ~schedule
            ~gathered_in:false ~scatter_out:false ~atomic_out:false ~accumulate:true)
 
@@ -1158,7 +1168,7 @@ let run_weight_op t op =
         let r = Env.weight t.env right and o = Env.weight t.env out in
         2.0 *. float_of_int (Tensor.numel o) *. float_of_int (Tensor.dim r 1)
   in
-  Engine.launch t.engine
+  launch_attr t
     (Kernel.make ~name ~category:Kernel.Gemm ~grid_blocks:64 ~flops
        ~bytes_coalesced:(flops /. 2.0) ~graph_proportional:false ())
 
@@ -1173,6 +1183,7 @@ let launch_memset t name rows dim =
        ~category:Kernel.Copy
        ~grid_blocks:(max 1 (rows * dim / 256 / 256))
        ~bytes_coalesced:(float_of_int (rows * dim * 4))
+       ~provenance:(Kernel.provenance ~origin:"runtime.memset" name)
        ())
 
 let alloc_buffer t (b : Plan.buffer) =
@@ -1202,18 +1213,24 @@ let free_temp_buffers t (plan : Plan.t) =
     (fun (b : Plan.buffer) -> if b.Plan.temp then free_buffer t b.Plan.name)
     plan.Plan.buffers
 
-let run_step t (plan : Plan.t) step =
-  match step with
-  | Plan.Weight_op op -> run_weight_op t op
-  | Plan.Gemm spec -> run_gemm t spec
-  | Plan.Traversal spec -> run_traversal t ~program:plan.Plan.program ~layout:plan.Plan.layout spec
-  | Plan.Fallback f -> run_fallback t ~program:plan.Plan.program f
+let run_step ?(step_idx = -1) t (plan : Plan.t) step =
+  t.cur_prov <-
+    Some (Kernel.provenance ~step:step_idx ~origin:(Plan.step_origin step) (Plan.step_op step));
+  Fun.protect
+    ~finally:(fun () -> t.cur_prov <- None)
+    (fun () ->
+      match step with
+      | Plan.Weight_op op -> run_weight_op t op
+      | Plan.Gemm spec -> run_gemm t spec
+      | Plan.Traversal spec ->
+          run_traversal t ~program:plan.Plan.program ~layout:plan.Plan.layout spec
+      | Plan.Fallback f -> run_fallback t ~program:plan.Plan.program f)
 
 (* planner off: every plan buffer is allocated for the whole run — the
    reference point the planner's peak-memory saving is measured against *)
 let run_plan_upfront ~free_temps t (plan : Plan.t) =
   List.iter (fun (b : Plan.buffer) -> alloc_buffer t b) plan.Plan.buffers;
-  List.iter (run_step t plan) plan.Plan.steps;
+  List.iteri (fun i step -> run_step ~step_idx:i t plan step) plan.Plan.steps;
   if free_temps then free_temp_buffers t plan
 
 (* --- plan-lifetime arena ---------------------------------------------
@@ -1337,6 +1354,7 @@ let bind_managed ~shared t (m : managed) =
   if b.Plan.zero_init then launch_memset t b.Plan.name (Tensor.dim m.mview 0) b.Plan.dim
 
 let run_plan ?(free_temps = true) t (plan : Plan.t) =
+  Hector_obs.time (Engine.obs t.engine) ~kind:"run" ("run_plan:" ^ plan.Plan.name) @@ fun () ->
   if not t.planner then run_plan_upfront ~free_temps t plan
   else begin
     let arena = find_arena t plan ~shared:free_temps in
@@ -1345,7 +1363,7 @@ let run_plan ?(free_temps = true) t (plan : Plan.t) =
     List.iteri
       (fun i step ->
         List.iter (bind_managed ~shared:free_temps t) arena.abind.(i);
-        run_step t plan step;
+        run_step ~step_idx:i t plan step;
         if free_temps then List.iter (fun n -> free_buffer t n) arena.aunbind.(i))
       plan.Plan.steps;
     if free_temps then free_temp_buffers t plan

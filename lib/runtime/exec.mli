@@ -37,6 +37,9 @@ type t = {
   opaque : (string * opaque_fn) list;
   planner : bool;
   mutable arenas : (Hector_core.Plan.t * bool * arena) list;
+  mutable cur_prov : Hector_gpu.Kernel.provenance option;
+      (** provenance of the plan step currently executing; applied to every
+          kernel the step launches *)
 }
 
 val create :
@@ -49,9 +52,9 @@ val create :
   t
 (** Bundle an execution state.  [opaque] registers fallback operator
     implementations by name.  [planner] selects the plan-lifetime arena
-    path (default: on, unless the environment variable [HECTOR_ARENA] is
-    ["0"]); with it off, every [run_plan] allocates all plan buffers up
-    front and frees temporaries at the end. *)
+    path (default: the {!Knobs.current} [arena] knob, i.e. on unless
+    [HECTOR_ARENA] disables it); with it off, every [run_plan] allocates
+    all plan buffers up front and frees temporaries at the end. *)
 
 val run_plan : ?free_temps:bool -> t -> Hector_core.Plan.t -> unit
 (** Execute all steps in order: materialize (and zero) the plan's buffers,
@@ -59,6 +62,9 @@ val run_plan : ?free_temps:bool -> t -> Hector_core.Plan.t -> unit
     With the planner on, buffer storage comes from a per-plan arena reused
     across calls: the first call allocates one backing per storage slot of
     the {!Hector_core.Plan.memory} coloring, later calls allocate nothing.
+    Every launch carries the {!Hector_gpu.Kernel.provenance} of its plan
+    step (op, step index, originating pass); the whole run is wrapped in a
+    ["run"] span on the engine's observability handle.
     Raises [Hector_gpu.Memory.Out_of_memory] when the storage does not fit
     at paper scale, and [Invalid_argument] on malformed plans. *)
 

@@ -1,0 +1,42 @@
+module Domain_pool = Hector_tensor.Domain_pool
+
+type t = { domains : int option; arena : bool; obs : bool }
+
+let defaults = { domains = None; arena = true; obs = false }
+
+let truthy s =
+  match String.lowercase_ascii (String.trim s) with
+  | "1" | "true" | "yes" | "on" -> true
+  | _ -> false
+
+let falsy s =
+  match String.lowercase_ascii (String.trim s) with
+  | "0" | "false" | "no" | "off" -> true
+  | _ -> false
+
+let parse getenv =
+  let domains =
+    match getenv "HECTOR_DOMAINS" with
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> Some (min n Domain_pool.max_domains)
+        | _ -> None)
+  in
+  let arena = match getenv "HECTOR_ARENA" with None -> true | Some s -> not (falsy s) in
+  let obs = match getenv "HECTOR_OBS" with None -> false | Some s -> truthy s in
+  { domains; arena; obs }
+
+let cache : t option ref = ref None
+
+let refresh () =
+  let k = parse Sys.getenv_opt in
+  cache := Some k;
+  k
+
+let current () = match !cache with Some k -> k | None -> refresh ()
+
+(* Domain-pool sizing flows through the same snapshot: registered at module
+   initialization, which happens whenever any Hector_runtime module is
+   linked (Exec depends on this module). *)
+let () = Domain_pool.set_default_sizing (fun () -> (current ()).domains)

@@ -1,0 +1,43 @@
+(** Runtime configuration knobs — the single place [HECTOR_*] environment
+    variables are parsed.
+
+    Every tunable the environment can set is read here exactly once (at
+    first use) and exposed as a typed snapshot; no other module in the
+    repository calls [Sys.getenv] for a [HECTOR_*] name.  The recognized
+    variables:
+
+    {ul
+    {- [HECTOR_DOMAINS] — worker-domain count for parallel CPU kernels
+       (positive integer, capped at {!Hector_tensor.Domain_pool.max_domains};
+       [1] forces the sequential reference backend);}
+    {- [HECTOR_ARENA] — plan-lifetime arena memory planner, on unless set
+       to ["0"]/["false"];}
+    {- [HECTOR_OBS] — observability ([1]/[true] enables span + counter
+       collection for sessions that don't configure it explicitly; off by
+       default).}}
+
+    At module initialization this registers the [HECTOR_DOMAINS] parser as
+    {!Hector_tensor.Domain_pool.set_default_sizing}'s hook, so pool sizing
+    flows through the same snapshot. *)
+
+type t = {
+  domains : int option;  (** [HECTOR_DOMAINS], validated; [None] = unset/invalid *)
+  arena : bool;  (** [HECTOR_ARENA], default [true] *)
+  obs : bool;  (** [HECTOR_OBS], default [false] *)
+}
+
+val parse : (string -> string option) -> t
+(** Parse a snapshot from an environment lookup function (pure; exposed for
+    tests — pass [Sys.getenv_opt] to read the real environment). *)
+
+val current : unit -> t
+(** The process's knob snapshot, read from the environment on first call
+    and cached. *)
+
+val refresh : unit -> t
+(** Re-read the environment and replace the cached snapshot (tests mutate
+    the environment with [Unix.putenv] and call this to make the change
+    visible). *)
+
+val defaults : t
+(** The snapshot an empty environment produces. *)

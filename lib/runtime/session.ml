@@ -10,6 +10,33 @@ module Compiler = Hector_core.Compiler
 module Lf = Hector_core.Linear_fusion
 module Autodiff = Hector_core.Autodiff
 
+module Config = struct
+  type t = {
+    device : Hector_gpu.Device.t;
+    seed : int;
+    trace : bool;
+    memory_planner : bool option;
+    domains : int option;
+    observability : Hector_obs.t option;
+    node_inputs : (string * Tensor.t) list;
+    edge_inputs : (string * Tensor.t) list;
+    weights : (string * Tensor.t) list;
+  }
+
+  let default =
+    {
+      device = Hector_gpu.Device.rtx3090;
+      seed = 1;
+      trace = false;
+      memory_planner = None;
+      domains = None;
+      observability = None;
+      node_inputs = [];
+      edge_inputs = [];
+      weights = [];
+    }
+end
+
 type t = {
   exec : Exec.t;
   compiled : Compiler.compiled;
@@ -36,13 +63,42 @@ let rgcn_norm g =
   done;
   t
 
-let create ?(device = Hector_gpu.Device.rtx3090) ?(seed = 1) ?(trace = false) ?memory_planner
-    ?(node_inputs = []) ?(edge_inputs = []) ?(weights = []) ~graph compiled =
-  let engine = Engine.create ~device ~scale:graph.G.scale ~trace () in
+let create ?(config = Config.default) ?device ?seed ?trace ?memory_planner ?node_inputs
+    ?edge_inputs ?weights ~graph compiled =
+  (* legacy labels override the corresponding config field, so pre-Config
+     call sites behave exactly as before *)
+  let cfg =
+    {
+      config with
+      Config.device = Option.value device ~default:config.Config.device;
+      seed = Option.value seed ~default:config.Config.seed;
+      trace = Option.value trace ~default:config.Config.trace;
+      memory_planner =
+        (match memory_planner with Some p -> Some p | None -> config.Config.memory_planner);
+      node_inputs = Option.value node_inputs ~default:config.Config.node_inputs;
+      edge_inputs = Option.value edge_inputs ~default:config.Config.edge_inputs;
+      weights = Option.value weights ~default:config.Config.weights;
+    }
+  in
+  let node_inputs = cfg.Config.node_inputs
+  and edge_inputs = cfg.Config.edge_inputs
+  and weights = cfg.Config.weights in
+  (match cfg.Config.domains with
+  | Some n -> Hector_tensor.Domain_pool.set_num_domains (Some n)
+  | None -> ());
+  let obs =
+    match cfg.Config.observability with
+    | Some o -> o
+    | None ->
+        if (Knobs.current ()).Knobs.obs then Hector_obs.create () else Hector_obs.disabled
+  in
+  let engine =
+    Engine.create ~device:cfg.Config.device ~scale:graph.G.scale ~trace:cfg.Config.trace ~obs ()
+  in
   let ctx = Graph_ctx.create graph in
   let env = Env.create () in
-  let exec = Exec.create ?planner:memory_planner ~engine ~ctx ~env () in
-  let rng = Rng.create seed in
+  let exec = Exec.create ?planner:cfg.Config.memory_planner ~engine ~ctx ~env () in
+  let rng = Rng.create cfg.Config.seed in
   let program = compiled.Compiler.forward.Plan.program in
   let fused = fused_outs compiled.Compiler.weight_ops in
   (* parameters *)
@@ -114,9 +170,12 @@ let create ?(device = Hector_gpu.Device.rtx3090) ?(seed = 1) ?(trace = false) ?m
 
 let exec t = t.exec
 let engine t = t.exec.Exec.engine
+let obs t = Engine.obs t.exec.Exec.engine
 let weights t = Env.weights t.exec.Exec.env
 let weight_grads t = Env.weight_grads t.exec.Exec.env
-let reset_clock t = Engine.reset_clock t.exec.Exec.engine
+let reset_clock ?keep_events t = Engine.reset_clock ?keep_events t.exec.Exec.engine
+let metrics_json t = Engine.metrics_json ~obs:(obs t) (engine t)
+let chrome_trace t = Engine.to_chrome_trace ~obs:(obs t) (engine t)
 
 let output_dim t =
   match t.outputs with (_, d) :: _ -> d | [] -> invalid_arg "Session: program has no outputs"

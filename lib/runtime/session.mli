@@ -9,9 +9,43 @@
 module Tensor = Hector_tensor.Tensor
 module Engine = Hector_gpu.Engine
 
+(** Session configuration — the primary way to set up a session.
+
+    Build one by overriding fields of {!Config.default}:
+    {[
+      let cfg = { Session.Config.default with trace = true; seed = 7 } in
+      let session = Session.create ~config:cfg ~graph compiled
+    ]} *)
+module Config : sig
+  type t = {
+    device : Hector_gpu.Device.t;  (** simulated device (default RTX 3090) *)
+    seed : int;  (** RNG seed for generated weights/inputs (default 1) *)
+    trace : bool;  (** record a launch timeline (default off) *)
+    memory_planner : bool option;
+        (** plan-lifetime arena path; [None] (default) follows the
+            [HECTOR_ARENA] knob (see {!Knobs}) *)
+    domains : int option;
+        (** worker-domain count override for parallel CPU kernels; [None]
+            (default) leaves {!Hector_tensor.Domain_pool} sizing alone *)
+    observability : Hector_obs.t option;
+        (** [Some obs] — report spans/counters to [obs] (pass the handle
+            the model was compiled with to get compile + run data in one
+            export); [Some Hector_obs.disabled] — explicitly off; [None]
+            (default) — enabled iff the [HECTOR_OBS] knob is set *)
+    node_inputs : (string * Tensor.t) list;  (** inputs by name; rest generated *)
+    edge_inputs : (string * Tensor.t) list;
+    weights : (string * Tensor.t) list;
+  }
+
+  val default : t
+  (** RTX 3090, seed 1, no trace, knob-driven planner/observability, no
+      domain override, everything generated. *)
+end
+
 type t
 
 val create :
+  ?config:Config.t ->
   ?device:Hector_gpu.Device.t ->
   ?seed:int ->
   ?trace:bool ->
@@ -22,17 +56,22 @@ val create :
   graph:Hector_graph.Hetgraph.t ->
   Hector_core.Compiler.compiled ->
   t
-(** Build a session.  Parameters and inputs not supplied are generated:
-    weights with Glorot initialization sized from the declarations and the
-    graph's type counts (fusion-generated weights are computed, not
-    initialized); node inputs with standard-normal entries; the
-    conventional edge input ["norm"] with RGCN's [1/c_{v,r}]; other edge
-    inputs uniform.  Weight and input device memory is charged to the
-    engine (weights unscaled, features graph-proportional).
-    [memory_planner] selects the plan-lifetime arena execution path (see
-    {!Exec.create}); defaults to on unless [HECTOR_ARENA=0].  Raises
+(** Build a session — the documented entry point is
+    [create ~config ~graph compiled].  Parameters and inputs not supplied
+    are generated: weights with Glorot initialization sized from the
+    declarations and the graph's type counts (fusion-generated weights are
+    computed, not initialized); node inputs with standard-normal entries;
+    the conventional edge input ["norm"] with RGCN's [1/c_{v,r}]; other
+    edge inputs uniform.  Weight and input device memory is charged to the
+    engine (weights unscaled, features graph-proportional).  Raises
     [Hector_gpu.Memory.Out_of_memory] if the inputs alone exceed device
-    memory at paper scale. *)
+    memory at paper scale.
+
+    The individual optional labels ([?device], [?seed], [?trace],
+    [?memory_planner], [?node_inputs], [?edge_inputs], [?weights]) are the
+    {e deprecated} pre-[Config] interface, kept so existing call sites
+    compile unchanged; when both are given, a label overrides the
+    corresponding [config] field.  New code should pass [~config] only. *)
 
 val forward : t -> (string * Tensor.t) list
 (** Run one forward pass (inference); returns the program outputs (copies).
@@ -57,6 +96,21 @@ val exec : t -> Exec.t
 val engine : t -> Engine.t
 (** The simulated device engine (clock, stats, memory). *)
 
+val obs : t -> Hector_obs.t
+(** The observability handle the session's engine reports to (the
+    configured one, or {!Hector_obs.disabled}). *)
+
+val metrics_json : t -> string
+(** Single-line JSON metrics snapshot for this session: simulated
+    [elapsed_ms], per-category and per-op attribution tables, and — when
+    observability is enabled — wall-clock spans and counters (see
+    {!Engine.metrics_json}). *)
+
+val chrome_trace : t -> string
+(** Chrome-tracing document of the session's launch timeline (pid 1, with
+    per-launch provenance args) merged with its observability spans
+    (pid 2).  Requires [trace] for the kernel timeline. *)
+
 val weights : t -> (string * Tensor.t) list
 (** Current parameter stacks (live references). *)
 
@@ -68,5 +122,7 @@ val output_dim : t -> int
 (** Width of the (first) program output — the class count used for
     labels. *)
 
-val reset_clock : t -> unit
-(** Zero the simulated clock and statistics (e.g. after warm-up). *)
+val reset_clock : ?keep_events:bool -> t -> unit
+(** Zero the simulated clock and statistics (e.g. after warm-up).  Trace
+    events are dropped too unless [keep_events:true] (see
+    {!Engine.reset_clock}). *)

@@ -37,12 +37,14 @@ let nll_loss ~engine ~out ~labels =
     (Kernel.make ~name:"log_softmax" ~category:Kernel.Reduction
        ~grid_blocks:(max 1 (n / 256))
        ~flops:(float_of_int (n * c * 5))
-       ~bytes_coalesced:(2.0 *. bytes) ());
+       ~bytes_coalesced:(2.0 *. bytes)
+       ~provenance:(Kernel.provenance ~origin:"train" "loss") ());
   Engine.launch engine
     (Kernel.make ~name:"nll_grad" ~category:Kernel.Reduction
        ~grid_blocks:(max 1 (n / 256))
        ~flops:(float_of_int (n * c))
-       ~bytes_coalesced:(2.0 *. bytes) ());
+       ~bytes_coalesced:(2.0 *. bytes)
+       ~provenance:(Kernel.provenance ~origin:"train" "loss") ());
   (!loss, grad)
 
 let backprop_weight_ops ~(exec : Exec.t) ops =
@@ -79,7 +81,8 @@ let backprop_weight_ops ~(exec : Exec.t) ops =
                 (Kernel.make ~name:("bmm_backward_" ^ out) ~category:Kernel.Gemm ~grid_blocks:64
                    ~flops:(4.0 *. float_of_int (Tensor.numel w))
                    ~bytes_coalesced:(float_of_int (Tensor.numel w * 4))
-                   ~graph_proportional:false ()))
+                   ~graph_proportional:false
+                   ~provenance:(Kernel.provenance ~origin:"linear_fusion" out) ()))
       | Lf.Mat_mat { left; left_slice; right; out } -> (
           match Env.weight_grad_opt env out with
           | None -> ()
@@ -108,7 +111,8 @@ let backprop_weight_ops ~(exec : Exec.t) ops =
                 (Kernel.make ~name:("bmm_backward_" ^ out) ~category:Kernel.Gemm ~grid_blocks:64
                    ~flops:(4.0 *. float_of_int (Tensor.numel dout) *. float_of_int (Tensor.dim r 1))
                    ~bytes_coalesced:(float_of_int (Tensor.numel r * 4))
-                   ~graph_proportional:false ())))
+                   ~graph_proportional:false
+                   ~provenance:(Kernel.provenance ~origin:"linear_fusion" out) ())))
     (List.rev ops)
 
 let sgd_step ?(skip = []) ~(exec : Exec.t) ~lr () =
@@ -122,7 +126,8 @@ let sgd_step ?(skip = []) ~(exec : Exec.t) ~lr () =
           (Kernel.make ~name:("sgd_" ^ name) ~category:Kernel.Reduction ~grid_blocks:32
              ~flops:(float_of_int (Tensor.numel w))
              ~bytes_coalesced:(float_of_int (Tensor.numel w * 8))
-             ~graph_proportional:false ())
+             ~graph_proportional:false
+             ~provenance:(Kernel.provenance ~origin:"train" "sgd") ())
       end)
     (Env.weight_grads env);
   Env.zero_weight_grads env

@@ -12,20 +12,18 @@ let default_grain = 1024
 
 let override : int option ref = ref None
 
-let env_domains () =
-  match Sys.getenv_opt "HECTOR_DOMAINS" with
-  | None -> None
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> Some (min n max_domains)
-      | _ -> None)
+(* Environment-driven sizing is injected by Hector_runtime.Knobs (the single
+   place that parses HECTOR_* variables); this module stays env-free. *)
+let default_sizing : (unit -> int option) ref = ref (fun () -> None)
+
+let set_default_sizing f = default_sizing := f
 
 let num_domains () =
   match !override with
   | Some n -> max 1 (min n max_domains)
   | None -> (
-      match env_domains () with
-      | Some n -> n
+      match !default_sizing () with
+      | Some n -> max 1 (min n max_domains)
       | None -> max 1 (min max_domains (Domain.recommended_domain_count ())))
 
 let set_num_domains n = override := n

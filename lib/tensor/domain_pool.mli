@@ -7,7 +7,8 @@
     few atomic fetch-adds rather than a domain spawn.
 
     The pool size comes from, in priority order: an explicit
-    {!set_num_domains} override, the [HECTOR_DOMAINS] environment variable,
+    {!set_num_domains} override, the registered {!set_default_sizing} hook
+    (installed by [Hector_runtime.Knobs], which parses [HECTOR_DOMAINS]),
     and [Domain.recommended_domain_count ()].  A size of [1] disables the
     pool entirely: every entry point degrades to the exact sequential loop
     (same iteration order, same floating-point result, no pool machinery
@@ -22,8 +23,9 @@
 
 val num_domains : unit -> int
 (** Effective domain count for the next parallel region (override, then
-    [HECTOR_DOMAINS], then [Domain.recommended_domain_count ()]); always at
-    least 1, capped at {!max_domains}. *)
+    the {!set_default_sizing} hook, then
+    [Domain.recommended_domain_count ()]); always at least 1, capped at
+    {!max_domains}. *)
 
 val max_domains : int
 (** Hard upper bound on the pool size (guards absurd [HECTOR_DOMAINS]). *)
@@ -33,6 +35,12 @@ val set_num_domains : int option -> unit
     benchmarks to compare backends in-process); [set_num_domains None]
     returns to the environment/default sizing.  Resizing tears the old
     pool down lazily before the next parallel region. *)
+
+val set_default_sizing : (unit -> int option) -> unit
+(** Install the fallback sizing consulted when no {!set_num_domains}
+    override is active.  [Hector_runtime.Knobs] registers the
+    [HECTOR_DOMAINS] parser here at module initialization; this module
+    itself never reads the environment. *)
 
 val sequential : unit -> bool
 (** [true] iff {!num_domains}[ () = 1] — callers use this to select their

@@ -16,4 +16,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("sampler", Test_sampler.suite);
       ("frontend", Test_frontend.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -42,19 +42,25 @@ let seq_vs_par ?(sizes = [ 2; 4 ]) ~tol name f =
 
 let test_env_sizing () =
   let saved = Sys.getenv_opt "HECTOR_DOMAINS" in
-  let restore () = Unix.putenv "HECTOR_DOMAINS" (Option.value saved ~default:"") in
+  (* env knobs are parsed once by Knobs; tests refresh the cached snapshot
+     after each putenv to make the change visible *)
+  let set v =
+    Unix.putenv "HECTOR_DOMAINS" v;
+    ignore (Hector_runtime.Knobs.refresh ())
+  in
+  let restore () = set (Option.value saved ~default:"") in
   Fun.protect ~finally:restore (fun () ->
-      Unix.putenv "HECTOR_DOMAINS" "3";
+      set "3";
       check_int "HECTOR_DOMAINS=3" 3 (Dp.num_domains ());
       check_bool "not sequential" false (Dp.sequential ());
-      Unix.putenv "HECTOR_DOMAINS" "1";
+      set "1";
       check_int "HECTOR_DOMAINS=1" 1 (Dp.num_domains ());
       check_bool "sequential" true (Dp.sequential ());
-      Unix.putenv "HECTOR_DOMAINS" "1000000";
+      set "1000000";
       check_int "capped at max_domains" Dp.max_domains (Dp.num_domains ());
-      Unix.putenv "HECTOR_DOMAINS" "garbage";
+      set "garbage";
       check_bool "garbage falls back to >= 1" true (Dp.num_domains () >= 1);
-      Unix.putenv "HECTOR_DOMAINS" "5";
+      set "5";
       with_domains 2 (fun () ->
           check_int "override beats the environment" 2 (Dp.num_domains ())))
 
