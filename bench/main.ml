@@ -324,6 +324,101 @@ let run_micro ~json ~check ~tolerance () =
       if not (check_regressions ~baseline ~tolerance results) then exit 1
   | _ -> ()
 
+(* --- serving benchmark (--serve) -----------------------------------
+
+   One deterministic open-loop serving run: batched RGCN inference over a
+   synthetic parent graph under a Poisson arrival trace, entirely on the
+   simulated clock.  Writes BENCH_serve.json in the same shape as
+   BENCH_micro.json (per-entry "sim_ms" + a "_meta" snapshot), so --check
+   gates it with the same one-sided tolerance mechanism.  Every gated
+   entry is "larger = worse": latency percentiles, inverse throughput and
+   launches per request. *)
+
+module Serve = Hector_serve.Serve
+module Workload = Hector_serve.Workload
+
+let run_serve ~json ~check ~tolerance () =
+  let baseline = Option.map read_baseline check in
+  let graph =
+    Hector_graph.Generator.generate
+      {
+        Hector_graph.Generator.name = "serve_bench";
+        num_ntypes = 3;
+        num_etypes = 8;
+        num_nodes = 400;
+        num_edges = 1600;
+        compaction_target = 0.4;
+        scale = 1.0;
+        seed = 17;
+      }
+  in
+  let program = Hector_models.Model_defs.rgcn ~in_dim:32 ~out_dim:16 () in
+  let config =
+    {
+      Serve.default_config with
+      Serve.fanout = 6;
+      hops = 2;
+      max_batch = Some 8;
+      max_wait_ms = 5.0;
+      queue_capacity = Some 128;
+    }
+  in
+  let server = Serve.create ~config ~graph program in
+  let requests =
+    Workload.generate
+      ~spec:
+        {
+          Workload.seed = 42;
+          rate_rps = 1500.0;
+          requests = 96;
+          seeds_per_request = 4;
+        }
+      ~num_nodes:graph.Hector_graph.Hetgraph.num_nodes ()
+  in
+  ignore (Serve.serve server requests);
+  let s = Serve.load_stats server in
+  let ms_per_request =
+    if s.Serve.throughput_rps > 0.0 then 1000.0 /. s.Serve.throughput_rps else 0.0
+  in
+  Printf.printf
+    "Serving benchmark (simulated clock, open-loop %d requests):\n\
+    \  served %d, shed %d, %d batches (mean size %.2f)\n\
+    \  throughput %.1f req/s   latency p50 %.3f / p95 %.3f / p99 %.3f sim-ms\n\
+    \  %.2f launches per request\n"
+    s.Serve.requests s.Serve.lserved s.Serve.lshed s.Serve.lbatches s.Serve.mean_batch
+    s.Serve.throughput_rps s.Serve.p50_ms s.Serve.p95_ms s.Serve.p99_ms
+    s.Serve.launches_per_request;
+  let entries =
+    [
+      ("serve/p50", s.Serve.p50_ms);
+      ("serve/p95", s.Serve.p95_ms);
+      ("serve/p99", s.Serve.p99_ms);
+      ("serve/ms_per_request", ms_per_request);
+      ("serve/launches_per_request", s.Serve.launches_per_request);
+    ]
+  in
+  if json then begin
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "{\n";
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string buf (Printf.sprintf "  \"%s\": {\"sim_ms\": %.6f},\n" name v))
+      entries;
+    Buffer.add_string buf (Printf.sprintf "  \"_meta\": %s\n}\n" (Serve.metrics_json server));
+    let oc = open_out "BENCH_serve.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "\nWrote BENCH_serve.json (%d entries + _meta)\n" (List.length entries)
+  end;
+  match (check, baseline) with
+  | Some _, Some baseline ->
+      let results =
+        List.map (fun (name, v) -> (name, { ns = None; sim_ms = Some v; allocs = 0; copied = 0 }))
+          entries
+      in
+      if not (check_regressions ~baseline ~tolerance results) then exit 1
+  | _ -> ()
+
 (* --- CLI ---------------------------------------------------------- *)
 
 let usage () =
@@ -334,12 +429,16 @@ let usage () =
   print_string
     "\nOther flags:\n\
     \  --micro          run the Bechamel wall-clock microbenchmarks instead\n\
+    \  --serve          run the inference-serving benchmark instead (batched\n\
+    \                   RGCN over a deterministic open-loop arrival trace)\n\
     \  --json           with --micro: write BENCH_micro.json\n\
     \                   (name -> {ns, sim_ms, allocs, copied_bytes}, plus a\n\
     \                   \"_meta\" observability snapshot) and BENCH_trace.json\n\
-    \                   (Chrome trace: simulated kernels + compiler spans)\n\
-    \  --check FILE     with --micro: compare wall-clock and simulated time\n\
-    \                   against a baseline BENCH_micro.json; exit 1 on any\n\
+    \                   (Chrome trace: simulated kernels + compiler spans);\n\
+    \                   with --serve: write BENCH_serve.json (latency\n\
+    \                   percentiles, throughput, launches per request)\n\
+    \  --check FILE     with --micro/--serve: compare against a baseline\n\
+    \                   BENCH_micro.json / BENCH_serve.json; exit 1 on any\n\
     \                   regression\n\
     \  --tolerance T    with --check: allowed slowdown fraction\n\
     \                   before a result counts as a regression (default 0.25)\n\
@@ -349,7 +448,9 @@ let usage () =
      Environment knobs (parsed by Hector_runtime.Knobs; see README):\n\
     \  HECTOR_DOMAINS   multicore backend size (1 = sequential)\n\
     \  HECTOR_ARENA     0 disables the plan-lifetime memory planner\n\
-    \  HECTOR_OBS       1 enables observability for knob-driven sessions\n"
+    \  HECTOR_OBS       1 enables observability for knob-driven sessions\n\
+    \  HECTOR_SERVE_BATCH  serving micro-batch cap (default 8)\n\
+    \  HECTOR_SERVE_QUEUE  serving admission-queue bound (default 64)\n"
 
 let cli_error fmt =
   Printf.ksprintf
@@ -361,6 +462,7 @@ let cli_error fmt =
 
 type cli = {
   mutable micro : bool;
+  mutable serve : bool;
   mutable json : bool;
   mutable check : string option;
   mutable tolerance : float;
@@ -373,6 +475,7 @@ let parse_cli argv =
   let cli =
     {
       micro = false;
+      serve = false;
       json = false;
       check = None;
       tolerance = 0.25;
@@ -397,6 +500,9 @@ let parse_cli argv =
         exit 0
     | "--micro" :: rest ->
         cli.micro <- true;
+        go rest
+    | "--serve" :: rest ->
+        cli.serve <- true;
         go rest
     | "--json" :: rest ->
         cli.json <- true;
@@ -436,10 +542,13 @@ let parse_cli argv =
 
 let () =
   let cli = parse_cli Sys.argv in
-  if cli.json && not cli.micro then cli_error "--json only makes sense together with --micro";
-  if cli.check <> None && not cli.micro then
-    cli_error "--check only makes sense together with --micro";
+  if cli.micro && cli.serve then cli_error "--micro and --serve are mutually exclusive";
+  if cli.json && not (cli.micro || cli.serve) then
+    cli_error "--json only makes sense together with --micro or --serve";
+  if cli.check <> None && not (cli.micro || cli.serve) then
+    cli_error "--check only makes sense together with --micro or --serve";
   if cli.micro then run_micro ~json:cli.json ~check:cli.check ~tolerance:cli.tolerance ()
+  else if cli.serve then run_serve ~json:cli.json ~check:cli.check ~tolerance:cli.tolerance ()
   else begin
     let t = H.create ~max_nodes:cli.max_nodes ~max_edges:cli.max_edges () in
     let selected =

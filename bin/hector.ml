@@ -3,6 +3,7 @@
    Subcommands:
      hector compile  -m rgat --compact --fusion        show plan + CUDA
      hector run      -m hgt -d fb15k --training        run on the simulator
+     hector serve    -m rgcn -d aifb --rate 500        batched inference serving
      hector datasets                                   list dataset replicas
      hector baselines -m rgat -d am                    compare prior systems *)
 
@@ -17,6 +18,8 @@ module Stats = Hector_gpu.Stats
 module G = Hector_graph.Hetgraph
 module Ds = Hector_graph.Datasets
 module B = Hector_baselines.Baselines
+module Serve = Hector_serve.Serve
+module Workload = Hector_serve.Workload
 
 let model_arg =
   let doc = "Model: rgcn, rgat or hgt." in
@@ -127,6 +130,91 @@ let cmd_baselines =
     (Cmd.info "baselines" ~doc:"Run the baseline systems' behavioural models.")
     Term.(const run $ model_arg $ dataset_arg $ training_arg $ max_edges_arg)
 
+let cmd_serve =
+  let rate_arg =
+    Arg.(value & opt float 500.0
+         & info [ "rate" ] ~docv:"RPS" ~doc:"Open-loop arrival rate, requests per second.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 64 & info [ "requests" ] ~docv:"N" ~doc:"Number of requests to replay.")
+  in
+  let seeds_arg =
+    Arg.(value & opt int 4
+         & info [ "seeds-per-request" ] ~docv:"K" ~doc:"Seed nodes per request.")
+  in
+  let batch_arg =
+    Arg.(value & opt (some int) None
+         & info [ "batch" ] ~docv:"B"
+             ~doc:"Micro-batch cap (default: HECTOR_SERVE_BATCH knob, else 8).")
+  in
+  let queue_arg =
+    Arg.(value & opt (some int) None
+         & info [ "queue" ] ~docv:"Q"
+             ~doc:"Admission queue bound (default: HECTOR_SERVE_QUEUE knob, else 64).")
+  in
+  let wait_arg =
+    Arg.(value & opt float 20.0
+         & info [ "max-wait" ] ~docv:"MS"
+             ~doc:"Batching deadline past the oldest queued arrival, simulated ms.")
+  in
+  let fanout_arg =
+    Arg.(value & opt int 8 & info [ "fanout" ] ~docv:"F" ~doc:"Sampler fanout per hop.")
+  in
+  let hops_arg =
+    Arg.(value & opt int 2 & info [ "hops" ] ~docv:"H" ~doc:"Sampling depth.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Workload generator seed.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print only the JSON load report.")
+  in
+  let run model dataset max_edges rate requests seeds batch queue wait fanout hops seed json =
+    if rate <= 0.0 then (
+      Printf.eprintf "hector serve: --rate must be positive\n";
+      exit 2);
+    let graph = Ds.load ~max_edges (Ds.find dataset) in
+    let program = Hector_models.Model_defs.by_name model () in
+    let config =
+      {
+        Serve.default_config with
+        Serve.model;
+        fanout;
+        hops;
+        max_batch = batch;
+        max_wait_ms = wait;
+        queue_capacity = queue;
+      }
+    in
+    let server = Serve.create ~config ~graph program in
+    let trace =
+      Workload.generate
+        ~spec:{ Workload.seed; rate_rps = rate; requests; seeds_per_request = seeds }
+        ~num_nodes:graph.G.num_nodes ()
+    in
+    ignore (Serve.serve server trace);
+    if json then print_endline (Serve.metrics_json server)
+    else begin
+      let s = Serve.load_stats server in
+      Printf.printf "served %d / %d requests (%d shed) in %d batches (mean size %.2f)\n"
+        s.Serve.lserved s.Serve.requests s.Serve.lshed s.Serve.lbatches s.Serve.mean_batch;
+      Printf.printf "throughput: %.1f req/s (simulated)\n" s.Serve.throughput_rps;
+      Printf.printf "latency: p50 %.3f  p95 %.3f  p99 %.3f  mean %.3f sim-ms (queue %.3f)\n"
+        s.Serve.p50_ms s.Serve.p95_ms s.Serve.p99_ms s.Serve.mean_latency_ms
+        s.Serve.mean_queue_ms;
+      Printf.printf "kernel launches per served request: %.2f\n" s.Serve.launches_per_request;
+      Printf.printf "batch sizes:";
+      List.iter (fun (sz, n) -> Printf.printf "  %dx%d" n sz) s.Serve.batch_histogram;
+      print_newline ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve batched inference requests over a dataset replica (simulated clock).")
+    Term.(const run $ model_arg $ dataset_arg $ max_edges_arg $ rate_arg $ requests_arg
+          $ seeds_arg $ batch_arg $ queue_arg $ wait_arg $ fanout_arg $ hops_arg $ seed_arg
+          $ json_arg)
+
 let cmd_autotune =
   let run model dataset training max_edges =
     let graph = Ds.load ~max_edges (Ds.find dataset) in
@@ -145,4 +233,7 @@ let cmd_autotune =
 
 let () =
   let info = Cmd.info "hector" ~version:"1.0" ~doc:"Hector RGNN compiler (GPU-simulated)." in
-  exit (Cmd.eval (Cmd.group info [ cmd_compile; cmd_run; cmd_datasets; cmd_baselines; cmd_autotune ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ cmd_compile; cmd_run; cmd_serve; cmd_datasets; cmd_baselines; cmd_autotune ]))

@@ -77,4 +77,29 @@ let sample ?(seed = 0) ~(graph : Hetgraph.t) ~seeds ~fanout ~hops () =
     seed_nodes = Array.map (Hashtbl.find new_id) seeds;
   }
 
+(* One block for several requests: sample from the deduplicated union of
+   the seed sets, then map every request's own seeds to block ids so its
+   output rows can be scattered back out of the shared forward pass. *)
+let sample_union ?seed ~(graph : Hetgraph.t) ~seed_sets ~fanout ~hops () =
+  if Array.length seed_sets = 0 then invalid_arg "Sampler.sample_union: no seed sets";
+  Array.iteri
+    (fun i s ->
+      if Array.length s = 0 then
+        invalid_arg (Printf.sprintf "Sampler.sample_union: seed set %d is empty" i))
+    seed_sets;
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  Array.iter
+    (Array.iter (fun v ->
+         if not (Hashtbl.mem seen v) then begin
+           Hashtbl.replace seen v ();
+           acc := v :: !acc
+         end))
+    seed_sets;
+  let union = Array.of_list (List.rev !acc) in
+  let sub = sample ?seed ~graph ~seeds:union ~fanout ~hops () in
+  let block_id = Hashtbl.create (Array.length sub.origin_node) in
+  Array.iteri (fun i v -> Hashtbl.replace block_id v i) sub.origin_node;
+  (sub, Array.map (Array.map (Hashtbl.find block_id)) seed_sets)
+
 let induced_feature_rows sub = sub.origin_node

@@ -31,6 +31,23 @@ val sample :
     [Invalid_argument] on empty seeds, out-of-range ids or non-positive
     fanout/hops. *)
 
+val sample_union :
+  ?seed:int ->
+  graph:Hetgraph.t ->
+  seed_sets:int array array ->
+  fanout:int ->
+  hops:int ->
+  unit ->
+  subgraph * int array array
+(** Sample ONE block covering several requests at once: the block is
+    [sample] of the deduplicated union of the seed sets (first-occurrence
+    order, so the union of a single set is that set), and the second
+    component maps each input set to the block ids of its own seeds —
+    the rows to scatter back per request after a shared batched forward.
+    The returned subgraph's [seed_nodes] are the union's block ids.
+    Raises [Invalid_argument] if [seed_sets] or any individual set is
+    empty, or on the conditions [sample] rejects. *)
+
 val induced_feature_rows : subgraph -> int array
 (** The parent rows to gather when transferring node features to the
     device — [origin_node], exposed under the name the runtime uses. *)

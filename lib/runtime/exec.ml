@@ -1,6 +1,7 @@
 module Tensor = Hector_tensor.Tensor
 module Engine = Hector_gpu.Engine
 module Kernel = Hector_gpu.Kernel
+module Memory = Hector_gpu.Memory
 module G = Hector_graph.Hetgraph
 module Csr = Hector_graph.Csr
 module Cm = Hector_graph.Compact_map
@@ -35,21 +36,34 @@ type arena = {
   aother : Plan.buffer list;  (* plan buffers the arena does not manage *)
 }
 
+(* Cross-executor arena storage: slot backings keyed by (plan name, slot),
+   each kept at its high-water capacity.  A fresh executor handed the same
+   slab rebuilds its arenas as prefix views of the cached backings instead
+   of allocating — the serving steady state.  The accounting handle of the
+   allocator that charged a backing rides along so growth can release the
+   superseded charge. *)
+type slab = {
+  sbackings : (string * int, Memory.t * Memory.allocation * Tensor.t) Hashtbl.t;
+}
+
+let create_slab () = { sbackings = Hashtbl.create 32 }
+
 type t = {
   engine : Engine.t;
   ctx : Graph_ctx.t;
   env : Env.t;
   opaque : (string * opaque_fn) list;
   planner : bool;
+  slab : slab option;
   mutable arenas : (Plan.t * bool * arena) list;
   mutable cur_prov : Kernel.provenance option;
 }
 
 let planner_default () = (Knobs.current ()).Knobs.arena
 
-let create ?(opaque = []) ?planner ~engine ~ctx ~env () =
+let create ?(opaque = []) ?planner ?slab ~engine ~ctx ~env () =
   let planner = match planner with Some p -> p | None -> planner_default () in
-  { engine; ctx; env; opaque; planner; arenas = []; cur_prov = None }
+  { engine; ctx; env; opaque; planner; slab; arenas = []; cur_prov = None }
 
 (* Launch a kernel under the provenance of the step being executed (set by
    [run_step]); kernels that carry their own tag keep it. *)
@@ -1293,13 +1307,37 @@ let create_arena t (plan : Plan.t) ~shared =
   let backings = Hashtbl.create 16 in
   Hashtbl.iter
     (fun slot (rows, dim) ->
-      (* the backing is allocated once and lives as long as the executor;
-         its contents are undefined until a member is bound *)
-      ignore
-        (Engine.alloc_tensor t.engine
-           ~label:(Printf.sprintf "%s/arena_slot_%d" plan.Plan.name slot)
-           ~rows ~cols:dim ());
-      Hashtbl.replace backings slot (Tensor.create_uninit [| rows * dim |]))
+      (* the backing is allocated once and lives as long as the executor —
+         or, with a slab, as long as the slab: later executors bind prefix
+         views of the cached backing instead of allocating.  Its contents
+         are undefined until a member is bound. *)
+      let fresh () =
+        let alloc =
+          Engine.alloc_tensor t.engine
+            ~label:(Printf.sprintf "%s/arena_slot_%d" plan.Plan.name slot)
+            ~rows ~cols:dim ()
+        in
+        let backing = Tensor.create_uninit [| rows * dim |] in
+        (match t.slab with
+        | Some slab ->
+            Hashtbl.replace slab.sbackings (plan.Plan.name, slot)
+              (Engine.memory t.engine, alloc, backing)
+        | None -> ());
+        backing
+      in
+      let backing =
+        match t.slab with
+        | None -> fresh ()
+        | Some slab -> (
+            match Hashtbl.find_opt slab.sbackings (plan.Plan.name, slot) with
+            | Some (_, _, b) when Tensor.numel b >= rows * dim -> b
+            | Some (mem, alloc, _) ->
+                (* outgrown: drop the superseded charge before reallocating *)
+                Memory.free mem alloc;
+                fresh ()
+            | None -> fresh ())
+      in
+      Hashtbl.replace backings slot backing)
     slot_cap;
   let abind = Array.make (max 1 nsteps) [] in
   let aunbind = Array.make (max 1 nsteps) [] in
@@ -1334,6 +1372,12 @@ let find_arena t (plan : Plan.t) ~shared =
       let a = create_arena t plan ~shared in
       t.arenas <- (plan, shared, a) :: t.arenas;
       a
+
+(* Build (or adopt from the slab) the plan's arena without running it, so
+   a server can take every slab allocation during warmup and keep the
+   steady state allocation-free.  No-op when the planner is off. *)
+let warm_plan ?(free_temps = true) t (plan : Plan.t) =
+  if t.planner then ignore (find_arena t plan ~shared:free_temps)
 
 (* Bind a managed buffer for this run, reproducing the zeroing semantics
    of the eager path: accumulators ([zero_init]) are cleared (and charged

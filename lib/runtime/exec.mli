@@ -30,12 +30,24 @@ type arena
     [run_plan] of a plan and reused by every later run — steady-state runs
     bind views into the environment instead of allocating. *)
 
+type slab
+(** Cross-executor arena storage: slot backings keyed by (plan name, slot),
+    each kept at its high-water capacity.  Hand the same slab to a sequence
+    of executors (e.g. one per sampled block in a serving loop) and each
+    rebuilds its arenas as prefix {!Tensor.view}s of the cached backings —
+    after a warmup pass sized at the largest block, steady-state executors
+    allocate no plan-buffer storage at all.  A slab assumes serial use:
+    executors sharing one must not run concurrently. *)
+
+val create_slab : unit -> slab
+
 type t = {
   engine : Engine.t;
   ctx : Graph_ctx.t;
   env : Env.t;
   opaque : (string * opaque_fn) list;
   planner : bool;
+  slab : slab option;
   mutable arenas : (Hector_core.Plan.t * bool * arena) list;
   mutable cur_prov : Hector_gpu.Kernel.provenance option;
       (** provenance of the plan step currently executing; applied to every
@@ -45,6 +57,7 @@ type t = {
 val create :
   ?opaque:(string * opaque_fn) list ->
   ?planner:bool ->
+  ?slab:slab ->
   engine:Engine.t ->
   ctx:Graph_ctx.t ->
   env:Env.t ->
@@ -54,7 +67,14 @@ val create :
     implementations by name.  [planner] selects the plan-lifetime arena
     path (default: the {!Knobs.current} [arena] knob, i.e. on unless
     [HECTOR_ARENA] disables it); with it off, every [run_plan] allocates
-    all plan buffers up front and frees temporaries at the end. *)
+    all plan buffers up front and frees temporaries at the end.  [slab]
+    shares arena backings across executors (see {!type:slab}). *)
+
+val warm_plan : ?free_temps:bool -> t -> Hector_core.Plan.t -> unit
+(** Build (or adopt from the slab) the plan's arena without running any
+    step, taking whatever allocations the arena needs now rather than on
+    the first [run_plan].  [free_temps] must match the mode later runs use
+    (default [true]).  No-op when the planner is off. *)
 
 val run_plan : ?free_temps:bool -> t -> Hector_core.Plan.t -> unit
 (** Execute all steps in order: materialize (and zero) the plan's buffers,

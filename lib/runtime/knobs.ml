@@ -1,8 +1,15 @@
 module Domain_pool = Hector_tensor.Domain_pool
 
-type t = { domains : int option; arena : bool; obs : bool }
+type t = {
+  domains : int option;
+  arena : bool;
+  obs : bool;
+  serve_batch : int option;
+  serve_queue : int option;
+}
 
-let defaults = { domains = None; arena = true; obs = false }
+let defaults =
+  { domains = None; arena = true; obs = false; serve_batch = None; serve_queue = None }
 
 let truthy s =
   match String.lowercase_ascii (String.trim s) with
@@ -25,7 +32,17 @@ let parse getenv =
   in
   let arena = match getenv "HECTOR_ARENA" with None -> true | Some s -> not (falsy s) in
   let obs = match getenv "HECTOR_OBS" with None -> false | Some s -> truthy s in
-  { domains; arena; obs }
+  let positive name =
+    match getenv name with
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> Some n
+        | _ -> None)
+  in
+  let serve_batch = positive "HECTOR_SERVE_BATCH" in
+  let serve_queue = positive "HECTOR_SERVE_QUEUE" in
+  { domains; arena; obs; serve_batch; serve_queue }
 
 let cache : t option ref = ref None
 

@@ -14,7 +14,12 @@
        to ["0"]/["false"];}
     {- [HECTOR_OBS] — observability ([1]/[true] enables span + counter
        collection for sessions that don't configure it explicitly; off by
-       default).}}
+       default);}
+    {- [HECTOR_SERVE_BATCH] — default maximum micro-batch size of the
+       {!Hector_serve} batch former (positive integer);}
+    {- [HECTOR_SERVE_QUEUE] — default admission-queue capacity of the
+       serving subsystem (positive integer; arrivals beyond it are
+       shed).}}
 
     At module initialization this registers the [HECTOR_DOMAINS] parser as
     {!Hector_tensor.Domain_pool.set_default_sizing}'s hook, so pool sizing
@@ -24,6 +29,10 @@ type t = {
   domains : int option;  (** [HECTOR_DOMAINS], validated; [None] = unset/invalid *)
   arena : bool;  (** [HECTOR_ARENA], default [true] *)
   obs : bool;  (** [HECTOR_OBS], default [false] *)
+  serve_batch : int option;
+      (** [HECTOR_SERVE_BATCH], validated; [None] = unset/invalid
+          (serving falls back to its built-in default) *)
+  serve_queue : int option;  (** [HECTOR_SERVE_QUEUE], validated *)
 }
 
 val parse : (string -> string option) -> t

@@ -18,6 +18,7 @@ type t = {
   feature_name : string;
   weights : (string * Tensor.t) list;  (** persistent across blocks *)
   rng : Rng.t;
+  seed : int;  (** every per-step sampling seed derives from this *)
   mutable step_count : int;
 }
 
@@ -59,6 +60,7 @@ let create ?(device = Device.rtx3090) ?(seed = 1) ~graph ~features ~labels compi
     feature_name;
     weights = Session.weights session;
     rng = Rng.create (seed + 17);
+    seed;
     step_count = 0;
   }
 
@@ -68,7 +70,9 @@ let step t ?(lr = 0.05) ?(fanout = 8) ?(hops = 2) ~batch () =
   t.step_count <- t.step_count + 1;
   let wall = Unix.gettimeofday () in
   let block =
-    Sampler.sample ~seed:(t.step_count * 7919) ~graph:t.graph ~seeds:batch ~fanout ~hops ()
+    Sampler.sample
+      ~seed:((t.seed * 1_000_003) + (t.step_count * 7919))
+      ~graph:t.graph ~seeds:batch ~fanout ~hops ()
   in
   let sample_ms = (Unix.gettimeofday () -. wall) *. 1e3 in
   let sub = block.Sampler.graph in

@@ -34,7 +34,13 @@ val create :
 (** Set up a trainer: the parent graph stays on the host; [features] is the
     full node-feature matrix, [labels] one class per parent node.  The
     model must be compiled with [training = true] and declare exactly one
-    node input. *)
+    node input.
+
+    [seed] (default 1) pins {e everything} stochastic about the run:
+    weight initialization, the epoch batch shuffle, and each step's
+    neighborhood sampling (per-step sampler seeds are derived from [seed]
+    and the step counter).  Two trainers created with the same seed over
+    the same data produce identical losses. *)
 
 val step : t -> ?lr:float -> ?fanout:int -> ?hops:int -> batch:int array -> unit -> step_report
 (** One minibatch step over the given seed batch (parent node ids). *)

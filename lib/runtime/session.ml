@@ -18,6 +18,8 @@ module Config = struct
     memory_planner : bool option;
     domains : int option;
     observability : Hector_obs.t option;
+    engine : Engine.t option;
+    slab : Exec.slab option;
     node_inputs : (string * Tensor.t) list;
     edge_inputs : (string * Tensor.t) list;
     weights : (string * Tensor.t) list;
@@ -31,6 +33,8 @@ module Config = struct
       memory_planner = None;
       domains = None;
       observability = None;
+      engine = None;
+      slab = None;
       node_inputs = [];
       edge_inputs = [];
       weights = [];
@@ -93,11 +97,17 @@ let create ?(config = Config.default) ?device ?seed ?trace ?memory_planner ?node
         if (Knobs.current ()).Knobs.obs then Hector_obs.create () else Hector_obs.disabled
   in
   let engine =
-    Engine.create ~device:cfg.Config.device ~scale:graph.G.scale ~trace:cfg.Config.trace ~obs ()
+    match cfg.Config.engine with
+    | Some e -> e
+    | None ->
+        Engine.create ~device:cfg.Config.device ~scale:graph.G.scale ~trace:cfg.Config.trace
+          ~obs ()
   in
   let ctx = Graph_ctx.create graph in
   let env = Env.create () in
-  let exec = Exec.create ?planner:cfg.Config.memory_planner ~engine ~ctx ~env () in
+  let exec =
+    Exec.create ?planner:cfg.Config.memory_planner ?slab:cfg.Config.slab ~engine ~ctx ~env ()
+  in
   let rng = Rng.create cfg.Config.seed in
   let program = compiled.Compiler.forward.Plan.program in
   let fused = fused_outs compiled.Compiler.weight_ops in

@@ -32,6 +32,14 @@ module Config : sig
             the model was compiled with to get compile + run data in one
             export); [Some Hector_obs.disabled] — explicitly off; [None]
             (default) — enabled iff the [HECTOR_OBS] knob is set *)
+    engine : Engine.t option;
+        (** [Some e] — run on an existing engine instead of creating one
+            (shares its clock, memory and stats; [device]/[trace] are then
+            ignored).  Used by serving, where many sessions over sampled
+            blocks bill one persistent device. *)
+    slab : Exec.slab option;
+        (** arena slab handed to the session's executor, sharing
+            plan-buffer backings across sessions (see {!Exec.slab}) *)
     node_inputs : (string * Tensor.t) list;  (** inputs by name; rest generated *)
     edge_inputs : (string * Tensor.t) list;
     weights : (string * Tensor.t) list;
@@ -126,3 +134,10 @@ val reset_clock : ?keep_events:bool -> t -> unit
 (** Zero the simulated clock and statistics (e.g. after warm-up).  Trace
     events are dropped too unless [keep_events:true] (see
     {!Engine.reset_clock}). *)
+
+val rgcn_norm : Hector_graph.Hetgraph.t -> Tensor.t
+(** RGCN's [1/c_{v,r}] edge normalizer: one row per edge holding the
+    reciprocal per-relation incoming degree of the edge's destination —
+    the tensor {!create} generates for the conventional edge input
+    ["norm"].  Exposed so drivers can compute the same normalizer for
+    sampled blocks. *)

@@ -1,0 +1,36 @@
+module Compiler = Hector_core.Compiler
+module Autotune = Hector_runtime.Autotune
+
+type key = { model : string; graph : string; options : Compiler.options }
+
+type t = {
+  entries : (key, Compiler.compiled) Hashtbl.t;
+  obs : Hector_obs.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(obs = Hector_obs.disabled) () =
+  { entries = Hashtbl.create 8; obs; hits = 0; misses = 0 }
+
+let get t ~model ~graph ~options program =
+  let key = { model; graph; options } in
+  match Hashtbl.find_opt t.entries key with
+  | Some compiled ->
+      t.hits <- t.hits + 1;
+      Hector_obs.add t.obs "serve.plan_cache.hits" 1;
+      compiled
+  | None ->
+      t.misses <- t.misses + 1;
+      Hector_obs.add t.obs "serve.plan_cache.misses" 1;
+      let compiled = Compiler.compile ~obs:t.obs ~options program in
+      Hashtbl.replace t.entries { model; graph; options } compiled;
+      compiled
+
+let autotune ?device ~graph program =
+  let result = Autotune.search ?device ~training:false ~schedules:false ~graph program in
+  result.Autotune.best.Autotune.options
+
+let hits t = t.hits
+let misses t = t.misses
+let size t = Hashtbl.length t.entries

@@ -1,0 +1,45 @@
+(** Compiled-plan cache for serving.
+
+    Serving must not compile on the hot path: plans are cached per
+    {e (model name, graph name, compiler options)} and every request after
+    the first for a given key reuses the compiled forward plan (and, via
+    {!Hector_runtime.Exec.slab}, its arena storage).  Hit/miss counts are
+    exposed directly and as [serve.plan_cache.hits]/[.misses] counters on
+    the observability handle, so tests can assert the steady state does
+    zero compiles. *)
+
+type t
+
+val create : ?obs:Hector_obs.t -> unit -> t
+(** Empty cache.  [obs] (default disabled) receives hit/miss counters and
+    the compile-pass spans of cache-miss compilations. *)
+
+val get :
+  t ->
+  model:string ->
+  graph:string ->
+  options:Hector_core.Compiler.options ->
+  Hector_core.Inter_ir.program ->
+  Hector_core.Compiler.compiled
+(** Look up (or compile and insert) the plan for [(model, graph,
+    options)].  The graph name is part of the key because autotuned
+    options differ per graph; the program itself is trusted to match
+    [model]. *)
+
+val autotune :
+  ?device:Hector_gpu.Device.t ->
+  graph:Hector_graph.Hetgraph.t ->
+  Hector_core.Inter_ir.program ->
+  Hector_core.Compiler.options
+(** Pick compiler options for a model/graph pair with a deterministic
+    {!Hector_runtime.Autotune} search over the four U/C/F/C+F
+    configurations (inference, no schedule knobs) — the optional warmup
+    step of a serving replica. *)
+
+val hits : t -> int
+
+val misses : t -> int
+(** Compilations performed (every miss compiles). *)
+
+val size : t -> int
+(** Distinct cached keys. *)

@@ -1,0 +1,464 @@
+module Tensor = Hector_tensor.Tensor
+module G = Hector_graph.Hetgraph
+module Sampler = Hector_graph.Sampler
+module Device = Hector_gpu.Device
+module Engine = Hector_gpu.Engine
+module Kernel = Hector_gpu.Kernel
+module Memory = Hector_gpu.Memory
+module Stats = Hector_gpu.Stats
+module Ir = Hector_core.Inter_ir
+module Compiler = Hector_core.Compiler
+module Mat = Hector_core.Materialization
+module Session = Hector_runtime.Session
+module Exec = Hector_runtime.Exec
+module Env = Hector_runtime.Env
+module Knobs = Hector_runtime.Knobs
+module Graph_ctx = Hector_runtime.Graph_ctx
+
+type config = {
+  model : string;
+  fanout : int;
+  hops : int;
+  max_batch : int option;
+  max_wait_ms : float;
+  queue_capacity : int option;
+  options : Compiler.options option;
+  autotune : bool;
+  device : Device.t;
+  seed : int;
+}
+
+let default_config =
+  {
+    model = "rgcn";
+    fanout = 8;
+    hops = 2;
+    max_batch = None;
+    max_wait_ms = 20.0;
+    queue_capacity = None;
+    options = None;
+    autotune = false;
+    device = Device.rtx3090;
+    seed = 1;
+  }
+
+type response = {
+  request : Workload.request;
+  output : Tensor.t option;
+  batch_size : int;
+  queue_ms : float;
+  sample_ms : float;
+  transfer_ms : float;
+  compute_ms : float;
+  latency_ms : float;
+}
+
+type t = {
+  graph : G.t;
+  compiled : Compiler.compiled;
+  cache : Plan_cache.t;
+  engine : Engine.t;
+  slab : Exec.slab;
+  obs : Hector_obs.t;
+  weights : (string * Tensor.t) list;
+  features : Tensor.t;  (* parent node features, host-resident *)
+  feature_name : string;
+  node_stage : Tensor.t;  (* parent-capacity staging for gathered features *)
+  edge_stage : (string * Tensor.t) list;  (* per edge input, parent capacity *)
+  outputs : (string * int) list;
+  fanout : int;
+  hops : int;
+  max_batch : int;
+  max_wait_ms : float;
+  queue_capacity : int;
+  warm_alloc_count : int;
+  (* load accounting, accumulated across [serve] calls *)
+  mutable requests_seen : int;
+  mutable served : int;
+  mutable shed : int;
+  mutable batches : int;
+  mutable latencies : float list;  (* served requests only *)
+  mutable queue_waits : float list;
+  batch_hist : (int, int) Hashtbl.t;
+  mutable sim_ms : float;  (* accumulated episode span (first arrival → last finish) *)
+}
+
+(* Deterministic host-side sampling cost (simulated ms): proportional to the
+   block actually built, with a fixed per-call floor.  Kept out of the
+   engine because sampling runs on the host, concurrently with nothing. *)
+let sample_cost_ms ~nodes ~edges =
+  0.01 +. (2e-4 *. float_of_int nodes) +. (5e-5 *. float_of_int edges)
+
+let exact_fanout graph = Array.fold_left max 1 (G.in_degrees graph)
+
+let resolve label v knob ~default =
+  let r =
+    match v with
+    | Some v -> v
+    | None -> ( match knob with Some k -> k | None -> default)
+  in
+  if r < 1 then invalid_arg (Printf.sprintf "Serve.create: %s must be >= 1" label);
+  r
+
+let create ?(config = default_config) ?obs ~graph program =
+  if config.fanout < 1 || config.hops < 1 then
+    invalid_arg "Serve.create: fanout and hops must be positive";
+  if config.max_wait_ms < 0.0 then invalid_arg "Serve.create: negative max_wait_ms";
+  let knobs = Knobs.current () in
+  let max_batch = resolve "max_batch" config.max_batch knobs.Knobs.serve_batch ~default:8 in
+  let queue_capacity =
+    resolve "queue_capacity" config.queue_capacity knobs.Knobs.serve_queue ~default:64
+  in
+  let obs =
+    match obs with
+    | Some o -> o
+    | None -> if knobs.Knobs.obs then Hector_obs.create () else Hector_obs.disabled
+  in
+  (* the request path supports one node input (the features we gather per
+     block) and the conventional precomputed "norm" edge input, recomputed
+     per block exactly as Session generates it for a whole graph *)
+  let feature_name =
+    match
+      List.filter_map
+        (function Ir.Node_input { name; _ } -> Some name | _ -> None)
+        program.Ir.decls
+    with
+    | [ name ] -> name
+    | _ -> invalid_arg "Serve.create: model must declare exactly one node input"
+  in
+  let edge_input_names =
+    List.filter_map
+      (function
+        | Ir.Edge_input { name; dim; _ } ->
+            if String.equal name "norm" && dim = 1 then Some name
+            else
+              invalid_arg
+                (Printf.sprintf "Serve.create: unsupported edge input %S (only norm)" name)
+        | _ -> None)
+      program.Ir.decls
+  in
+  let cache = Plan_cache.create ~obs () in
+  let options =
+    match config.options with
+    | Some o -> { o with Compiler.training = false }
+    | None ->
+        if config.autotune then Plan_cache.autotune ~device:config.device ~graph program
+        else Compiler.default_options
+  in
+  let compiled =
+    Plan_cache.get cache ~model:config.model ~graph:graph.G.name ~options program
+  in
+  (* one persistent engine for the replica; blocks run at physical size
+     (scale 1), like minibatch training *)
+  let engine = Engine.create ~device:config.device ~scale:1.0 ~obs () in
+  let slab = Exec.create_slab () in
+  (* warmup: a session over the PARENT graph charges weights and features
+     once and primes the slab at parent capacity — an upper bound on every
+     sampled block, so steady-state blocks never outgrow the backings *)
+  let scfg =
+    {
+      Session.Config.default with
+      Session.Config.engine = Some engine;
+      slab = Some slab;
+      seed = config.seed;
+    }
+  in
+  let session = Session.create ~config:scfg ~graph compiled in
+  let exec0 = Session.exec session in
+  Exec.warm_plan exec0 compiled.Compiler.forward;
+  let outputs =
+    List.map (fun (name, out) -> (name, Tensor.cols out)) (Session.forward session)
+  in
+  let features = (Env.find exec0.Exec.env feature_name).Env.tensor in
+  let node_dim = Tensor.cols features in
+  ignore
+    (Engine.alloc_tensor engine ~label:"serve/node_stage" ~rows:graph.G.num_nodes
+       ~cols:node_dim ());
+  let node_stage = Tensor.create_uninit [| graph.G.num_nodes * node_dim |] in
+  let edge_stage =
+    List.map
+      (fun name ->
+        ignore
+          (Engine.alloc_tensor engine
+             ~label:("serve/edge_stage_" ^ name)
+             ~rows:graph.G.num_edges ~cols:1 ());
+        (name, Tensor.create_uninit [| graph.G.num_edges |]))
+      edge_input_names
+  in
+  (* warmup cost is not part of the serving clock *)
+  Engine.reset_clock engine;
+  {
+    graph;
+    compiled;
+    cache;
+    engine;
+    slab;
+    obs;
+    weights = Session.weights session;
+    features;
+    feature_name;
+    node_stage;
+    edge_stage;
+    outputs;
+    fanout = config.fanout;
+    hops = config.hops;
+    max_batch;
+    max_wait_ms = config.max_wait_ms;
+    queue_capacity;
+    warm_alloc_count = Memory.alloc_count (Engine.memory engine);
+    requests_seen = 0;
+    served = 0;
+    shed = 0;
+    batches = 0;
+    latencies = [];
+    queue_waits = [];
+    batch_hist = Hashtbl.create 8;
+    sim_ms = 0.0;
+  }
+
+(* Execute one coalesced batch: union-sample a block, stage inputs into
+   parent-capacity views, charge the PCIe transfer, run the cached forward
+   plan through a block-local executor sharing the replica's engine and
+   slab, and gather each request's seed rows out of the output. *)
+let run_batch t (batch : Workload.request array) =
+  Hector_obs.time t.obs ~kind:"run" "serve.batch" @@ fun () ->
+  let seed_sets = Array.map (fun r -> r.Workload.seeds) batch in
+  let sub, block_seed_sets =
+    Sampler.sample_union
+      ~seed:((batch.(0).Workload.id * 31) + 17)
+      ~graph:t.graph ~seed_sets ~fanout:t.fanout ~hops:t.hops ()
+  in
+  let block = sub.Sampler.graph in
+  let sample_ms =
+    sample_cost_ms ~nodes:block.G.num_nodes ~edges:block.G.num_edges
+  in
+  let env = Env.create () in
+  List.iter (fun (name, w) -> Env.add_weight env ~name w) t.weights;
+  (* gather the block's features into the staging prefix *)
+  let rows = Array.length sub.Sampler.origin_node in
+  let dim = Tensor.cols t.features in
+  let feats = Tensor.view t.node_stage [| rows; dim |] in
+  Array.iteri
+    (fun i parent ->
+      for j = 0 to dim - 1 do
+        Tensor.set2 feats i j (Tensor.get2 t.features parent j)
+      done)
+    sub.Sampler.origin_node;
+  Env.add env ~name:t.feature_name
+    { Env.tensor = feats; space = Mat.Rows_nodes; dim; alloc = None };
+  let edge_bytes = ref 0 in
+  List.iter
+    (fun (name, stage) ->
+      let v = Tensor.view stage [| block.G.num_edges; 1 |] in
+      let norm = Session.rgcn_norm block in
+      for e = 0 to block.G.num_edges - 1 do
+        Tensor.set2 v e 0 (Tensor.get2 norm e 0)
+      done;
+      edge_bytes := !edge_bytes + (block.G.num_edges * 4);
+      Env.add env ~name { Env.tensor = v; space = Mat.Rows_edges; dim = 1; alloc = None })
+    t.edge_stage;
+  (* host→device transfer of the staged inputs over PCIe *)
+  let t0 = Engine.elapsed_ms t.engine in
+  let bytes = float_of_int ((rows * dim * 4) + !edge_bytes) in
+  Engine.launch t.engine
+    (Kernel.make ~name:"h2d_block" ~category:Kernel.Copy ~graph_proportional:false
+       ~grid_blocks:(max 1 (rows * dim / 1024))
+       ~bytes_coalesced:bytes
+       ~provenance:(Kernel.provenance ~origin:"serve.transfer" "h2d_block")
+       ());
+  Engine.host_sync t.engine
+    ~us:(bytes /. (Engine.device t.engine).Device.pcie_bandwidth_gbs /. 1e9 *. 1e6)
+    ();
+  let transfer_ms = Engine.elapsed_ms t.engine -. t0 in
+  let exec =
+    Exec.create ~engine:t.engine ~ctx:(Graph_ctx.create block) ~env ~slab:t.slab ()
+  in
+  Exec.run_plan exec t.compiled.Compiler.forward;
+  let compute_ms = Engine.elapsed_ms t.engine -. t0 -. transfer_ms in
+  let out_name, _ = List.hd t.outputs in
+  let out = (Env.find env out_name).Env.tensor in
+  let per_request = Array.map (fun ids -> Tensor.gather_rows out ids) block_seed_sets in
+  (per_request, sample_ms, transfer_ms, compute_ms)
+
+let shed_response r =
+  {
+    request = r;
+    output = None;
+    batch_size = 0;
+    queue_ms = 0.0;
+    sample_ms = 0.0;
+    transfer_ms = 0.0;
+    compute_ms = 0.0;
+    latency_ms = 0.0;
+  }
+
+(* Discrete-event serving loop over one arrival trace (an independent
+   episode: the simulated admission clock restarts at zero, while plan
+   cache, slab and load accounting persist across calls).  The batch
+   former dispatches when the server is free and either [max_batch]
+   requests are queued or the oldest has waited [max_wait_ms] (or no
+   arrival can improve the batch).  Arrivals seen while the queue holds
+   [queue_capacity] requests are shed. *)
+let serve t (requests : Workload.request array) =
+  let n = Array.length requests in
+  Array.iteri
+    (fun i r ->
+      if i > 0 && r.Workload.arrival_ms < requests.(i - 1).Workload.arrival_ms then
+        invalid_arg "Serve.serve: requests must be sorted by arrival time")
+    requests;
+  t.requests_seen <- t.requests_seen + n;
+  Hector_obs.add t.obs "serve.requests" n;
+  let responses = Array.map (fun r -> shed_response r) requests in
+  let queue : (int * Workload.request) Queue.t = Queue.create () in
+  let next = ref 0 in
+  let server_free = ref 0.0 in
+  let last_finish = ref 0.0 in
+  while !next < n || not (Queue.is_empty queue) do
+    if Queue.is_empty queue then begin
+      (* idle: jump the clock to the next arrival (capacity >= 1) *)
+      Queue.add (!next, requests.(!next)) queue;
+      incr next
+    end
+    else begin
+      let _, oldest = Queue.peek queue in
+      let deadline = oldest.Workload.arrival_ms +. t.max_wait_ms in
+      let missing = t.max_batch - Queue.length queue in
+      let fill_at =
+        if missing <= 0 then neg_infinity (* already full: go as soon as free *)
+        else if !next + missing <= n then requests.(!next + missing - 1).Workload.arrival_ms
+        else if !next < n then requests.(n - 1).Workload.arrival_ms
+          (* can never fill: the last arrival is the last useful wait *)
+        else oldest.Workload.arrival_ms (* drain: nothing left to wait for *)
+      in
+      let dispatch_at = Float.max !server_free (Float.min deadline fill_at) in
+      (* admission: arrivals up to the dispatch instant enter the bounded
+         queue; the rest of the trace stays pending for later rounds *)
+      while !next < n && requests.(!next).Workload.arrival_ms <= dispatch_at do
+        let idx = !next in
+        incr next;
+        if Queue.length queue >= t.queue_capacity then begin
+          t.shed <- t.shed + 1;
+          Hector_obs.add t.obs "serve.shed" 1
+          (* responses.(idx) is already a shed record *)
+        end
+        else Queue.add (idx, requests.(idx)) queue
+      done;
+      let bsize = min t.max_batch (Queue.length queue) in
+      let members = Array.init bsize (fun _ -> Queue.pop queue) in
+      let batch = Array.map snd members in
+      let outs, sample_ms, transfer_ms, compute_ms = run_batch t batch in
+      let finish = dispatch_at +. sample_ms +. transfer_ms +. compute_ms in
+      server_free := finish;
+      last_finish := Float.max !last_finish finish;
+      t.batches <- t.batches + 1;
+      Hector_obs.add t.obs "serve.batches" 1;
+      Hashtbl.replace t.batch_hist bsize
+        (1 + Option.value (Hashtbl.find_opt t.batch_hist bsize) ~default:0);
+      Array.iteri
+        (fun k (idx, r) ->
+          let queue_ms = dispatch_at -. r.Workload.arrival_ms in
+          let latency_ms = finish -. r.Workload.arrival_ms in
+          t.served <- t.served + 1;
+          Hector_obs.add t.obs "serve.served" 1;
+          t.latencies <- latency_ms :: t.latencies;
+          t.queue_waits <- queue_ms :: t.queue_waits;
+          responses.(idx) <-
+            {
+              request = r;
+              output = Some outs.(k);
+              batch_size = bsize;
+              queue_ms;
+              sample_ms;
+              transfer_ms;
+              compute_ms;
+              latency_ms;
+            })
+        members
+    end
+  done;
+  t.sim_ms <- t.sim_ms +. !last_finish;
+  responses
+
+(* --- metrics ---------------------------------------------------------- *)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    sorted.(min (n - 1) (max 0 rank))
+
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let launches t = (Stats.total (Engine.stats t.engine)).Stats.launches
+
+type load_stats = {
+  requests : int;
+  lserved : int;
+  lshed : int;
+  lbatches : int;
+  mean_batch : float;
+  throughput_rps : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  mean_latency_ms : float;
+  mean_queue_ms : float;
+  launches_per_request : float;
+  batch_histogram : (int * int) list;  (* batch size, count; ascending *)
+}
+
+let load_stats t =
+  let lat = Array.of_list t.latencies in
+  Array.sort compare lat;
+  {
+    requests = t.requests_seen;
+    lserved = t.served;
+    lshed = t.shed;
+    lbatches = t.batches;
+    mean_batch =
+      (if t.batches > 0 then float_of_int t.served /. float_of_int t.batches else 0.0);
+    throughput_rps =
+      (if t.sim_ms > 0.0 then float_of_int t.served /. (t.sim_ms /. 1000.0) else 0.0);
+    p50_ms = percentile lat 0.50;
+    p95_ms = percentile lat 0.95;
+    p99_ms = percentile lat 0.99;
+    mean_latency_ms = mean t.latencies;
+    mean_queue_ms = mean t.queue_waits;
+    launches_per_request =
+      (if t.served > 0 then float_of_int (launches t) /. float_of_int t.served else 0.0);
+    batch_histogram =
+      Hashtbl.fold (fun size count acc -> (size, count) :: acc) t.batch_hist []
+      |> List.sort compare;
+  }
+
+let metrics_json t =
+  let s = load_stats t in
+  let hist =
+    s.batch_histogram
+    |> List.map (fun (size, count) -> Printf.sprintf "\"%d\":%d" size count)
+    |> String.concat ","
+  in
+  Printf.sprintf
+    "{\"requests\":%d,\"served\":%d,\"shed\":%d,\"batches\":%d,\"mean_batch\":%.3f,\
+     \"throughput_rps\":%.3f,\"latency_ms\":{\"p50\":%.4f,\"p95\":%.4f,\"p99\":%.4f,\
+     \"mean\":%.4f},\"queue_ms\":{\"mean\":%.4f},\"batch_hist\":{%s},\
+     \"plan_cache\":{\"hits\":%d,\"misses\":%d},\"launches\":%d,\
+     \"launches_per_request\":%.3f,\"alloc_count\":%d,\"sim_elapsed_ms\":%.4f}"
+    s.requests s.lserved s.lshed s.lbatches s.mean_batch s.throughput_rps s.p50_ms
+    s.p95_ms s.p99_ms s.mean_latency_ms s.mean_queue_ms hist (Plan_cache.hits t.cache)
+    (Plan_cache.misses t.cache) (launches t) s.launches_per_request
+    (Memory.alloc_count (Engine.memory t.engine))
+    t.sim_ms
+
+let engine t = t.engine
+let plan_cache t = t.cache
+let obs t = t.obs
+let served t = t.served
+let shed t = t.shed
+let batches t = t.batches
+let warm_alloc_count t = t.warm_alloc_count
+let max_batch t = t.max_batch
+let queue_capacity t = t.queue_capacity

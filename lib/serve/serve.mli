@@ -1,0 +1,149 @@
+(** An inference serving replica: dynamic micro-batching, plan caching and
+    admission control over the existing compile/execute stack.
+
+    A replica binds one model program to one parent graph.  Requests (seed
+    node sets, from {!Workload} or elsewhere) are admitted into a bounded
+    queue; the batch former coalesces up to [max_batch] of them — waiting
+    at most [max_wait_ms] past the oldest arrival — into ONE k-hop sampled
+    block ({!Hector_graph.Sampler.sample_union}), runs a single batched
+    forward, and scatters each request's seed rows back out of the output.
+    The whole loop runs on the simulated clock: arrivals, queueing and
+    service all happen in deterministic simulated milliseconds, so a trace
+    always produces the same latencies, shed set and outputs.
+
+    {2 Steady-state guarantees}
+
+    Warmup ({!create}) compiles the plan into a {!Plan_cache}, charges
+    weights, parent features and parent-capacity staging tensors once, and
+    primes an {!Hector_runtime.Exec.slab} with arena backings sized for
+    the parent graph — an upper bound on every sampled block.  After that,
+    serving performs {e zero compiles} (witnessed by {!Plan_cache.misses})
+    and {e zero plan-buffer allocations} (witnessed by
+    {!Hector_gpu.Memory.alloc_count} against {!warm_alloc_count}): every
+    per-block executor binds prefix views of cached backings.
+
+    {2 Batched ≡ one-at-a-time}
+
+    When [fanout] covers every in-degree ({!exact_fanout}) and [hops] is
+    at least the model depth, every block contains the full receptive
+    field of its seeds, so per-request outputs are independent of which
+    requests share a batch: a [max_batch = 1] replica returns the same
+    outputs to within floating-point reassociation (≤ 1e-6) — the
+    equivalence the test suite pins at 1, 2 and 4 domains. *)
+
+module Tensor = Hector_tensor.Tensor
+
+type config = {
+  model : string;  (** plan-cache key; name of the served model *)
+  fanout : int;  (** sampler in-edge cap per node per hop *)
+  hops : int;  (** sampling depth; use >= model layers for exactness *)
+  max_batch : int option;
+      (** micro-batch size cap; [None] → [HECTOR_SERVE_BATCH] knob, else 8 *)
+  max_wait_ms : float;  (** batching deadline past the oldest queued arrival *)
+  queue_capacity : int option;
+      (** admission bound; [None] → [HECTOR_SERVE_QUEUE] knob, else 64 *)
+  options : Hector_core.Compiler.options option;
+      (** compiler options ([training] is forced off); [None] → default
+          options, or autotuned when [autotune] is set *)
+  autotune : bool;
+      (** pick options with {!Plan_cache.autotune} at warmup (ignored when
+          [options] is given) *)
+  device : Hector_gpu.Device.t;
+  seed : int;  (** weight/feature initialization seed *)
+}
+
+val default_config : config
+(** rgcn, fanout 8, hops 2, knob-driven batch/queue bounds, 20 ms wait,
+    default options, RTX 3090, seed 1. *)
+
+type response = {
+  request : Workload.request;
+  output : Tensor.t option;
+      (** [seeds × out_dim] rows for the request's seed nodes, in request
+          order; [None] when the request was shed *)
+  batch_size : int;  (** size of the batch that served it; 0 when shed *)
+  queue_ms : float;  (** admission → dispatch (simulated) *)
+  sample_ms : float;  (** block sampling, host cost model (whole batch) *)
+  transfer_ms : float;  (** staged-input PCIe transfer (whole batch) *)
+  compute_ms : float;  (** batched forward on the engine (whole batch) *)
+  latency_ms : float;  (** arrival → batch completion *)
+}
+
+type t
+
+val create :
+  ?config:config -> ?obs:Hector_obs.t -> graph:Hector_graph.Hetgraph.t ->
+  Hector_core.Inter_ir.program -> t
+(** Build and warm a replica: compile (through the plan cache), initialize
+    weights and parent features (from [config.seed]), prime the arena slab
+    and staging at parent capacity, then reset the engine clock so metrics
+    cover serving only.  [obs] (default: knob-driven like
+    {!Hector_runtime.Session}) receives [serve.*] counters and batch
+    spans.  The model must declare exactly one node input; the only edge
+    input supported is the conventional ["norm"] (recomputed per block).
+    Raises [Invalid_argument] on unsupported programs or non-positive
+    bounds. *)
+
+val serve : t -> Workload.request array -> response array
+(** Run the discrete-event loop over one arrival trace (sorted by
+    arrival; raises [Invalid_argument] otherwise) and return one response
+    per request, in trace order.  Each call is an independent episode
+    starting at simulated time 0; plan cache, slab, weights and load
+    accounting persist across calls. *)
+
+type load_stats = {
+  requests : int;  (** all requests seen (served + shed) *)
+  lserved : int;
+  lshed : int;
+  lbatches : int;
+  mean_batch : float;  (** served / batches *)
+  throughput_rps : float;  (** served per simulated second *)
+  p50_ms : float;  (** latency percentiles over served requests *)
+  p95_ms : float;
+  p99_ms : float;
+  mean_latency_ms : float;
+  mean_queue_ms : float;
+  launches_per_request : float;
+  batch_histogram : (int * int) list;  (** (batch size, count), ascending *)
+}
+
+val load_stats : t -> load_stats
+(** Numeric load report accumulated over all [serve] calls (what
+    {!metrics_json} serializes). *)
+
+val metrics_json : t -> string
+(** Single-line JSON load report accumulated over all [serve] calls:
+    request/served/shed/batch counts, mean batch size, throughput (req/s),
+    latency p50/p95/p99/mean, mean queue wait, batch-size histogram, plan
+    cache hits/misses, kernel launches (total and per served request),
+    allocator [alloc_count] and accumulated simulated time. *)
+
+val exact_fanout : Hector_graph.Hetgraph.t -> int
+(** The smallest fanout that keeps every incoming edge of any node — with
+    [hops >= ] model depth this makes batching exact (see above). *)
+
+val launches : t -> int
+(** Simulated kernel launches since warmup. *)
+
+val engine : t -> Hector_gpu.Engine.t
+(** The replica's persistent engine (clock, stats, memory). *)
+
+val plan_cache : t -> Plan_cache.t
+
+val obs : t -> Hector_obs.t
+
+val served : t -> int
+
+val shed : t -> int
+
+val batches : t -> int
+
+val warm_alloc_count : t -> int
+(** {!Hector_gpu.Memory.alloc_count} right after warmup — steady-state
+    serving must leave the live counter equal to this. *)
+
+val max_batch : t -> int
+(** The resolved micro-batch cap (config, knob or default). *)
+
+val queue_capacity : t -> int
+(** The resolved admission bound. *)

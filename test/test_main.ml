@@ -15,6 +15,7 @@ let () =
       ("models", Test_models.suite);
       ("experiments", Test_experiments.suite);
       ("sampler", Test_sampler.suite);
+      ("serve", Test_serve.suite);
       ("frontend", Test_frontend.suite);
       ("obs", Test_obs.suite);
     ]

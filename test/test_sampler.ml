@@ -138,7 +138,103 @@ let test_minibatch_requires_training () =
        false
      with Invalid_argument _ -> true)
 
+let test_sample_union_maps_each_request () =
+  let graph = Lazy.force parent in
+  let seed_sets = [| [| 3; 77 |]; [| 77; 200; 9 |]; [| 3 |] |] in
+  let sub, block_sets =
+    Sampler.sample_union ~graph ~seed_sets ~fanout:4 ~hops:2 ()
+  in
+  check_int "one block id set per request" (Array.length seed_sets) (Array.length block_sets);
+  Array.iteri
+    (fun k ids ->
+      check_int "request arity preserved" (Array.length seed_sets.(k)) (Array.length ids);
+      Array.iteri
+        (fun j id -> check_int "block id maps to the request's seed" seed_sets.(k).(j)
+            sub.Sampler.origin_node.(id))
+        ids)
+    block_sets;
+  (* the union block's seeds are exactly the distinct seeds, in order *)
+  check_bool "union seeds" true
+    (Array.map (fun id -> sub.Sampler.origin_node.(id)) sub.Sampler.seed_nodes
+     = [| 3; 77; 200; 9 |])
+
+let test_minibatch_same_seed_same_losses () =
+  let graph = Lazy.force parent in
+  let rng = Rng.create 5 in
+  let features = T.randn rng [| graph.G.num_nodes; 8 |] in
+  let labels = Array.init graph.G.num_nodes (fun v -> graph.G.node_type.(v)) in
+  let compiled =
+    Compiler.compile
+      ~options:(Compiler.options_of_flags ~training:true ~compact:false ~fusion:false ())
+      (Hector_models.Model_defs.rgcn ~in_dim:8 ~out_dim:3 ())
+  in
+  let run seed =
+    let trainer = Minibatch.create ~seed ~graph ~features ~labels compiled in
+    List.init 3 (fun _ ->
+        Minibatch.train_epochs trainer ~lr:0.1 ~batch_size:100 ~epochs:1 ())
+  in
+  let a = run 7 and b = run 7 in
+  check_bool "same seed, identical losses" true (a = b);
+  List.iter (fun l -> check_bool "finite" true (Float.is_finite l)) a
+
 (* --- property tests --- *)
+
+(* two distinct in-range seed nodes derived from one generated id *)
+let distinct_seeds v = [| v; (v + 137) mod 400 |]
+
+let prop_fanout_bound_per_hop =
+  QCheck.Test.make ~name:"block in-degrees never exceed the fanout" ~count:40
+    QCheck.(make Gen.(triple (int_range 0 399) (int_range 1 6) (int_range 1 3)))
+    (fun (v, fanout, hops) ->
+      let graph = Lazy.force parent in
+      let block = Sampler.sample ~graph ~seeds:(distinct_seeds v) ~fanout ~hops () in
+      (* a node joins the frontier at most once, so it draws in-edges in at
+         most one hop: every in-degree of the block is bounded by fanout *)
+      Array.for_all (fun d -> d <= fanout) (G.in_degrees block.Sampler.graph))
+
+let prop_subgraph_valid =
+  QCheck.Test.make ~name:"sampled subgraph upholds the Hetgraph invariants" ~count:40
+    QCheck.(make Gen.(pair (int_range 0 399) (int_range 1 3)))
+    (fun (v, hops) ->
+      let graph = Lazy.force parent in
+      let block = Sampler.sample ~graph ~seeds:(distinct_seeds v) ~fanout:4 ~hops () in
+      let sub = block.Sampler.graph in
+      let sorted a = Array.for_all (fun i -> a.(i) <= a.(i + 1))
+          (Array.init (max 0 (Array.length a - 1)) (fun i -> i)) in
+      sorted sub.G.node_type && sorted sub.G.etype
+      && Array.for_all
+           (fun i ->
+             graph.G.node_type.(block.Sampler.origin_node.(sub.G.src.(i)))
+             = sub.G.node_type.(sub.G.src.(i)))
+           (Array.init sub.G.num_edges (fun i -> i)))
+
+let prop_origin_ids_valid =
+  QCheck.Test.make ~name:"origin_node/origin_edge are valid parent ids" ~count:40
+    QCheck.(make Gen.(pair (int_range 0 399) (int_range 1 3)))
+    (fun (v, hops) ->
+      let graph = Lazy.force parent in
+      let block = Sampler.sample ~graph ~seeds:(distinct_seeds v) ~fanout:5 ~hops () in
+      Array.for_all (fun p -> p >= 0 && p < graph.G.num_nodes) block.Sampler.origin_node
+      && Array.for_all (fun e -> e >= 0 && e < graph.G.num_edges) block.Sampler.origin_edge
+      && Array.for_all
+           (fun s -> s >= 0 && s < block.Sampler.graph.G.num_nodes)
+           block.Sampler.seed_nodes)
+
+let prop_sample_domain_invariant =
+  QCheck.Test.make ~name:"sampling is identical across 1/2/4 domains" ~count:15
+    QCheck.(make Gen.(pair (int_range 0 399) (int_range 1 3)))
+    (fun (v, hops) ->
+      let graph = Lazy.force parent in
+      let with_domains n f =
+        Hector_tensor.Domain_pool.set_num_domains (Some n);
+        Fun.protect ~finally:(fun () -> Hector_tensor.Domain_pool.set_num_domains None) f
+      in
+      let run () =
+        let b = Sampler.sample ~seed:9 ~graph ~seeds:(distinct_seeds v) ~fanout:3 ~hops () in
+        (b.Sampler.origin_node, b.Sampler.origin_edge, b.Sampler.seed_nodes)
+      in
+      let reference = with_domains 1 run in
+      List.for_all (fun d -> with_domains d run = reference) [ 2; 4 ])
 
 let prop_block_edges_subset =
   QCheck.Test.make ~name:"sampled blocks are consistent subgraphs" ~count:30
@@ -168,5 +264,12 @@ let suite =
     Alcotest.test_case "minibatch step report" `Quick test_minibatch_step_report;
     Alcotest.test_case "minibatch learns" `Quick test_minibatch_learns;
     Alcotest.test_case "minibatch requires training" `Quick test_minibatch_requires_training;
+    Alcotest.test_case "sample_union maps each request" `Quick test_sample_union_maps_each_request;
+    Alcotest.test_case "minibatch same seed, same losses" `Quick
+      test_minibatch_same_seed_same_losses;
     QCheck_alcotest.to_alcotest prop_block_edges_subset;
+    QCheck_alcotest.to_alcotest prop_fanout_bound_per_hop;
+    QCheck_alcotest.to_alcotest prop_subgraph_valid;
+    QCheck_alcotest.to_alcotest prop_origin_ids_valid;
+    QCheck_alcotest.to_alcotest prop_sample_domain_invariant;
   ]
