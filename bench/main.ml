@@ -419,6 +419,105 @@ let run_serve ~json ~check ~tolerance () =
       if not (check_regressions ~baseline ~tolerance results) then exit 1
   | _ -> ()
 
+(* --- distributed benchmark (--dist) --------------------------------
+
+   Data-parallel RGCN training over a partitioned synthetic graph at 1, 2
+   and 4 partitions, entirely on the simulated clock.  Writes
+   BENCH_dist.json in the BENCH_micro.json shape (per-entry "sim_ms" + a
+   "_meta" cluster snapshot) so --check gates it with the same one-sided
+   tolerance mechanism.  Gated entries are all "larger = worse": simulated
+   ms per epoch at each partition count, and the comm/compute ratio at 2
+   and 4 partitions (a partitioner or interconnect-model regression shows
+   up as extra communication). *)
+
+module Replica = Hector_dist.Replica
+
+let run_dist ~json ~check ~tolerance () =
+  let baseline = Option.map read_baseline check in
+  let graph =
+    Hector_graph.Generator.generate
+      {
+        Hector_graph.Generator.name = "dist_bench";
+        num_ntypes = 3;
+        num_etypes = 8;
+        num_nodes = 400;
+        num_edges = 1600;
+        compaction_target = 0.4;
+        scale = 1.0;
+        seed = 29;
+      }
+  in
+  let rng = Hector_tensor.Rng.create 23 in
+  let features =
+    Hector_tensor.Tensor.randn rng [| graph.Hector_graph.Hetgraph.num_nodes; 32 |]
+  in
+  let labels =
+    Array.init graph.Hector_graph.Hetgraph.num_nodes (fun i -> i mod 16)
+  in
+  let compiled =
+    Hector_core.Compiler.compile
+      ~options:(Hector_core.Compiler.options_of_flags ~training:true ~compact:false ~fusion:false ())
+      (Hector_models.Model_defs.rgcn ~in_dim:32 ~out_dim:16 ())
+  in
+  let comms = Hector_dist.Comms.create ~latency_us:5.0 ~bandwidth_gbs:25.0 () in
+  let epochs = 4 in
+  print_endline "Distributed benchmark (simulated clock, data-parallel RGCN training):";
+  let measured =
+    List.map
+      (fun parts ->
+        let cluster = Replica.create ~parts ~comms ~features ~graph [ compiled ] in
+        ignore (Replica.train_step cluster ~labels ());
+        Replica.reset_clocks cluster;
+        for _ = 1 to epochs do
+          ignore (Replica.train_step cluster ~labels ())
+        done;
+        let ms_epoch = Replica.elapsed_ms cluster /. float_of_int epochs in
+        let busy = Replica.busy_ms cluster in
+        let comm_ratio = if busy > 0.0 then Replica.comm_ms cluster /. busy else 0.0 in
+        let pt = Replica.partition cluster in
+        Printf.printf
+          "  %d partition(s): %8.3f sim-ms/epoch   comm/busy %.4f   edge cut %4.1f%%   balance %.3f\n"
+          parts ms_epoch comm_ratio
+          (100.0 *. Hector_graph.Partition.edge_cut_fraction pt)
+          (Hector_graph.Partition.balance pt);
+        (parts, ms_epoch, comm_ratio, cluster))
+      [ 1; 2; 4 ]
+  in
+  let entries =
+    List.concat_map
+      (fun (parts, ms_epoch, comm_ratio, _) ->
+        (Printf.sprintf "dist/p%d_ms_epoch" parts, ms_epoch)
+        :: (if parts > 1 then [ (Printf.sprintf "dist/p%d_comm_ratio" parts, comm_ratio) ]
+            else []))
+      measured
+  in
+  if json then begin
+    let meta =
+      match List.rev measured with
+      | (_, _, _, cluster) :: _ -> Replica.metrics_json cluster
+      | [] -> "{}"
+    in
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "{\n";
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string buf (Printf.sprintf "  \"%s\": {\"sim_ms\": %.6f},\n" name v))
+      entries;
+    Buffer.add_string buf (Printf.sprintf "  \"_meta\": %s\n}\n" meta);
+    let oc = open_out "BENCH_dist.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "\nWrote BENCH_dist.json (%d entries + _meta)\n" (List.length entries)
+  end;
+  match (check, baseline) with
+  | Some _, Some baseline ->
+      let results =
+        List.map (fun (name, v) -> (name, { ns = None; sim_ms = Some v; allocs = 0; copied = 0 }))
+          entries
+      in
+      if not (check_regressions ~baseline ~tolerance results) then exit 1
+  | _ -> ()
+
 (* --- CLI ---------------------------------------------------------- *)
 
 let usage () =
@@ -431,15 +530,20 @@ let usage () =
     \  --micro          run the Bechamel wall-clock microbenchmarks instead\n\
     \  --serve          run the inference-serving benchmark instead (batched\n\
     \                   RGCN over a deterministic open-loop arrival trace)\n\
+    \  --dist           run the distributed-training benchmark instead\n\
+    \                   (data-parallel RGCN at 1/2/4 partitions with halo\n\
+    \                   exchange and gradient all-reduce)\n\
     \  --json           with --micro: write BENCH_micro.json\n\
     \                   (name -> {ns, sim_ms, allocs, copied_bytes}, plus a\n\
     \                   \"_meta\" observability snapshot) and BENCH_trace.json\n\
     \                   (Chrome trace: simulated kernels + compiler spans);\n\
     \                   with --serve: write BENCH_serve.json (latency\n\
-    \                   percentiles, throughput, launches per request)\n\
-    \  --check FILE     with --micro/--serve: compare against a baseline\n\
-    \                   BENCH_micro.json / BENCH_serve.json; exit 1 on any\n\
-    \                   regression\n\
+    \                   percentiles, throughput, launches per request);\n\
+    \                   with --dist: write BENCH_dist.json (sim-ms/epoch and\n\
+    \                   comm/compute ratio per partition count)\n\
+    \  --check FILE     with --micro/--serve/--dist: compare against a baseline\n\
+    \                   BENCH_micro.json / BENCH_serve.json / BENCH_dist.json;\n\
+    \                   exit 1 on any regression\n\
     \  --tolerance T    with --check: allowed slowdown fraction\n\
     \                   before a result counts as a regression (default 0.25)\n\
     \  --max-nodes N    cap physical replica size (default 2000)\n\
@@ -450,7 +554,9 @@ let usage () =
     \  HECTOR_ARENA     0 disables the plan-lifetime memory planner\n\
     \  HECTOR_OBS       1 enables observability for knob-driven sessions\n\
     \  HECTOR_SERVE_BATCH  serving micro-batch cap (default 8)\n\
-    \  HECTOR_SERVE_QUEUE  serving admission-queue bound (default 64)\n"
+    \  HECTOR_SERVE_QUEUE  serving admission-queue bound (default 64)\n\
+    \  HECTOR_DIST_PARTS   default partition count for distributed runs\n\
+    \  HECTOR_DIST_LATENCY_US / HECTOR_DIST_BW_GBS  interconnect cost model\n"
 
 let cli_error fmt =
   Printf.ksprintf
@@ -463,6 +569,7 @@ let cli_error fmt =
 type cli = {
   mutable micro : bool;
   mutable serve : bool;
+  mutable dist : bool;
   mutable json : bool;
   mutable check : string option;
   mutable tolerance : float;
@@ -476,6 +583,7 @@ let parse_cli argv =
     {
       micro = false;
       serve = false;
+      dist = false;
       json = false;
       check = None;
       tolerance = 0.25;
@@ -503,6 +611,9 @@ let parse_cli argv =
         go rest
     | "--serve" :: rest ->
         cli.serve <- true;
+        go rest
+    | "--dist" :: rest ->
+        cli.dist <- true;
         go rest
     | "--json" :: rest ->
         cli.json <- true;
@@ -542,13 +653,15 @@ let parse_cli argv =
 
 let () =
   let cli = parse_cli Sys.argv in
-  if cli.micro && cli.serve then cli_error "--micro and --serve are mutually exclusive";
-  if cli.json && not (cli.micro || cli.serve) then
-    cli_error "--json only makes sense together with --micro or --serve";
-  if cli.check <> None && not (cli.micro || cli.serve) then
-    cli_error "--check only makes sense together with --micro or --serve";
+  if (if cli.micro then 1 else 0) + (if cli.serve then 1 else 0) + (if cli.dist then 1 else 0) > 1
+  then cli_error "--micro, --serve and --dist are mutually exclusive";
+  if cli.json && not (cli.micro || cli.serve || cli.dist) then
+    cli_error "--json only makes sense together with --micro, --serve or --dist";
+  if cli.check <> None && not (cli.micro || cli.serve || cli.dist) then
+    cli_error "--check only makes sense together with --micro, --serve or --dist";
   if cli.micro then run_micro ~json:cli.json ~check:cli.check ~tolerance:cli.tolerance ()
   else if cli.serve then run_serve ~json:cli.json ~check:cli.check ~tolerance:cli.tolerance ()
+  else if cli.dist then run_dist ~json:cli.json ~check:cli.check ~tolerance:cli.tolerance ()
   else begin
     let t = H.create ~max_nodes:cli.max_nodes ~max_edges:cli.max_edges () in
     let selected =

@@ -4,6 +4,7 @@
      hector compile  -m rgat --compact --fusion        show plan + CUDA
      hector run      -m hgt -d fb15k --training        run on the simulator
      hector serve    -m rgcn -d aifb --rate 500        batched inference serving
+     hector partition -d am --parts 4                  typed-edge graph partitioning
      hector datasets                                   list dataset replicas
      hector baselines -m rgat -d am                    compare prior systems *)
 
@@ -215,6 +216,29 @@ let cmd_serve =
           $ seeds_arg $ batch_arg $ queue_arg $ wait_arg $ fanout_arg $ hops_arg $ seed_arg
           $ json_arg)
 
+let cmd_partition =
+  let parts_arg =
+    Arg.(value & opt int 2
+         & info [ "parts" ] ~docv:"P" ~doc:"Number of partitions (default 2).")
+  in
+  let slack_arg =
+    Arg.(value & opt float 0.0
+         & info [ "slack" ] ~docv:"S"
+             ~doc:"Balance slack: a partition may grow to (1+S)*n/P nodes for a smaller cut.")
+  in
+  let run dataset max_edges parts slack =
+    let graph = Ds.load ~max_edges (Ds.find dataset) in
+    match Hector_graph.Partition.partition ~slack ~parts graph with
+    | pt -> Format.printf "%a@." Hector_graph.Partition.pp_summary pt
+    | exception Invalid_argument msg ->
+        Printf.eprintf "hector partition: %s\n" msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:"Partition a dataset replica for distributed execution and report the cut.")
+    Term.(const run $ dataset_arg $ max_edges_arg $ parts_arg $ slack_arg)
+
 let cmd_autotune =
   let run model dataset training max_edges =
     let graph = Ds.load ~max_edges (Ds.find dataset) in
@@ -236,4 +260,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ cmd_compile; cmd_run; cmd_serve; cmd_datasets; cmd_baselines; cmd_autotune ]))
+          [ cmd_compile; cmd_run; cmd_serve; cmd_partition; cmd_datasets; cmd_baselines;
+            cmd_autotune ]))

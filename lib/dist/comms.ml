@@ -1,0 +1,45 @@
+module Engine = Hector_gpu.Engine
+module Kernel = Hector_gpu.Kernel
+module Knobs = Hector_runtime.Knobs
+
+type t = { latency_us : float; bandwidth_gbs : float }
+
+let default_latency_us = 5.0
+let default_bandwidth_gbs = 25.0
+
+let create ?latency_us ?bandwidth_gbs () =
+  let knobs = Knobs.current () in
+  let pick v knob ~default =
+    match v with
+    | Some v -> v
+    | None -> ( match knob with Some k -> k | None -> default)
+  in
+  let latency_us =
+    pick latency_us knobs.Knobs.dist_latency_us ~default:default_latency_us
+  in
+  let bandwidth_gbs =
+    pick bandwidth_gbs knobs.Knobs.dist_bandwidth_gbs ~default:default_bandwidth_gbs
+  in
+  if latency_us <= 0.0 then invalid_arg "Comms.create: latency must be positive";
+  if bandwidth_gbs <= 0.0 then invalid_arg "Comms.create: bandwidth must be positive";
+  { latency_us; bandwidth_gbs }
+
+let default () = create ()
+
+let transfer_ms c ~bytes =
+  (c.latency_us /. 1e3) +. (bytes /. (c.bandwidth_gbs *. 1e9) *. 1e3)
+
+let charge c engine ~op ~messages ~bytes =
+  if messages < 0 then invalid_arg "Comms.charge: negative message count";
+  if bytes < 0.0 then invalid_arg "Comms.charge: negative byte count";
+  if messages > 0 && bytes >= 0.0 then begin
+    let ms =
+      (float_of_int messages *. c.latency_us /. 1e3)
+      +. (bytes /. (c.bandwidth_gbs *. 1e9) *. 1e3)
+    in
+    Engine.charge engine ~ms
+      (Kernel.make ~name:op ~category:Kernel.Comm ~grid_blocks:messages
+         ~bytes_coalesced:bytes ~graph_proportional:false
+         ~provenance:(Kernel.provenance ~origin:"dist.comms" op)
+         ())
+  end

@@ -1,0 +1,42 @@
+(** Simulated inter-replica interconnect.
+
+    The distributed runtime never moves bytes between real devices; it
+    {e charges} each transfer to the receiving replica's engine with a cost
+    from the classic latency + bandwidth model
+
+    {[ transfer_ms = latency_us / 1000 + bytes / (bandwidth_gbs · 10⁹) · 10³ ]}
+
+    — a per-message fixed cost (software stack + link traversal) plus the
+    serialization time of the payload.  Defaults approximate one NVLink-class
+    hop and come from the [HECTOR_DIST_LATENCY_US] / [HECTOR_DIST_BW_GBS]
+    knobs when set (see {!Hector_runtime.Knobs}).
+
+    Charged events are provenance-stamped pseudo-ops (origin ["dist.comms"],
+    op ["halo_exchange"] or ["allreduce"]) in the {!Hector_gpu.Kernel.Comm}
+    category, so they appear in {!Hector_gpu.Stats.by_op}, in
+    [metrics_json] and on the chrome trace exactly like compute kernels, and
+    {!Hector_gpu.Stats.attributed_ms} still covers the whole clock. *)
+
+type t = {
+  latency_us : float;  (** per-message fixed cost, microseconds *)
+  bandwidth_gbs : float;  (** link bandwidth, GB/s *)
+}
+
+val create : ?latency_us:float -> ?bandwidth_gbs:float -> unit -> t
+(** Build an interconnect model.  Omitted parameters fall back to the
+    [HECTOR_DIST_*] knobs, then to the built-in defaults (5 µs, 25 GB/s).
+    Raises [Invalid_argument] on non-positive values. *)
+
+val default : unit -> t
+(** [create ()] — knob-driven defaults. *)
+
+val transfer_ms : t -> bytes:float -> float
+(** Simulated duration of one message of the given payload size. *)
+
+val charge :
+  t -> Hector_gpu.Engine.t -> op:string -> messages:int -> bytes:float -> unit
+(** [charge c engine ~op ~messages ~bytes] advances the engine's clock by
+    the cost of moving [bytes] split over [messages] messages (each pays
+    the per-message latency) and records a [Comm]-category kernel named
+    [op] with provenance [(origin "dist.comms", op)].  A zero-message
+    charge is a no-op. *)

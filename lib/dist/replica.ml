@@ -1,0 +1,462 @@
+module Tensor = Hector_tensor.Tensor
+module G = Hector_graph.Hetgraph
+module Partition = Hector_graph.Partition
+module Engine = Hector_gpu.Engine
+module Kernel = Hector_gpu.Kernel
+module Memory = Hector_gpu.Memory
+module Stats = Hector_gpu.Stats
+module Ir = Hector_core.Inter_ir
+module Plan = Hector_core.Plan
+module Compiler = Hector_core.Compiler
+module Autodiff = Hector_core.Autodiff
+module Lf = Hector_core.Linear_fusion
+module Mat = Hector_core.Materialization
+module Session = Hector_runtime.Session
+module Exec = Hector_runtime.Exec
+module Env = Hector_runtime.Env
+module Train = Hector_runtime.Train
+module Knobs = Hector_runtime.Knobs
+
+type layer = {
+  compiled : Compiler.compiled;
+  feature_name : string;
+  out_name : string;
+  in_dim : int;
+  out_dim : int;
+  master : (string * Tensor.t) list;
+}
+
+type replica = {
+  part : Partition.part;
+  engine : Engine.t;
+  inputs : Tensor.t array;  (* per layer; persistent node-input binding *)
+  sessions : Session.t array;  (* per layer, sharing [engine] and one slab *)
+}
+
+type t = {
+  graph : G.t;
+  pt : Partition.t;
+  cm : Comms.t;
+  layers : layer array;
+  replicas : replica array;
+  features : Tensor.t;
+  out_stage : Tensor.t;  (* parent-order assembled output *)
+  fused : string list;  (* layer-0 fusion-computed weight names (not trained) *)
+  reduce_scratch : (string * Tensor.t) list;  (* all-reduce accumulators *)
+  training : bool;
+  inv_n : float;  (* 1 / global node count — the masked-NLL normalizer *)
+}
+
+let fused_outs ops =
+  List.map (function Lf.Mat_vec { out; _ } | Lf.Mat_mat { out; _ } -> out) ops
+
+(* The single node input, the restricted edge inputs and the output name of
+   one layer program. *)
+let layer_io compiled =
+  let program = compiled.Compiler.forward.Plan.program in
+  let feature_name, in_dim =
+    match
+      List.filter_map
+        (function Ir.Node_input { name; dim; _ } -> Some (name, dim) | _ -> None)
+        program.Ir.decls
+    with
+    | [ nd ] -> nd
+    | _ -> invalid_arg "Replica.create: each layer must declare exactly one node input"
+  in
+  List.iter
+    (function
+      | Ir.Edge_input { name; dim; _ } when not (String.equal name "norm" && dim = 1) ->
+          invalid_arg
+            (Printf.sprintf "Replica.create: unsupported edge input %S (only norm)" name)
+      | _ -> ())
+    program.Ir.decls;
+  let out_name =
+    match program.Ir.outputs with
+    | o :: _ -> o
+    | [] -> invalid_arg "Replica.create: layer program has no outputs"
+  in
+  (feature_name, in_dim, out_name)
+
+let create ?parts ?slack ?comms ?(device = Hector_gpu.Device.rtx3090) ?(seed = 1) ?obs
+    ~features ~(graph : G.t) layers =
+  if layers = [] then invalid_arg "Replica.create: empty layer stack";
+  let knobs = Knobs.current () in
+  let parts =
+    match parts with
+    | Some p -> p
+    | None -> ( match knobs.Knobs.dist_parts with Some p -> p | None -> 2)
+  in
+  let cm = match comms with Some c -> c | None -> Comms.default () in
+  let obs =
+    match obs with
+    | Some o -> o
+    | None -> if knobs.Knobs.obs then Hector_obs.create () else Hector_obs.disabled
+  in
+  if Tensor.rows features <> graph.G.num_nodes then
+    invalid_arg "Replica.create: features must have one row per parent node";
+  (* master weights: one probe session per layer over the parent graph, so
+     every replica (and any reference session built from [master_weights])
+     starts from the same stacks *)
+  let layer_recs =
+    Array.of_list layers
+    |> Array.mapi (fun l compiled ->
+           let feature_name, in_dim, out_name = layer_io compiled in
+           let probe_cfg =
+             { Session.Config.default with Session.Config.device; seed = seed + (l * 1009) }
+           in
+           let probe = Session.create ~config:probe_cfg ~graph compiled in
+           {
+             compiled;
+             feature_name;
+             out_name;
+             in_dim;
+             out_dim = Session.output_dim probe;
+             master = List.map (fun (n, w) -> (n, Tensor.copy w)) (Session.weights probe);
+           })
+  in
+  if layer_recs.(0).in_dim <> Tensor.cols features then
+    invalid_arg
+      (Printf.sprintf "Replica.create: layer 0 expects %d input features, got %d"
+         layer_recs.(0).in_dim (Tensor.cols features));
+  Array.iteri
+    (fun l lrec ->
+      if l > 0 && lrec.in_dim <> layer_recs.(l - 1).out_dim then
+        invalid_arg
+          (Printf.sprintf "Replica.create: layer %d expects width %d, layer %d produces %d" l
+             lrec.in_dim (l - 1)
+             layer_recs.(l - 1).out_dim))
+    layer_recs;
+  let training =
+    Array.length layer_recs = 1 && layer_recs.(0).compiled.Compiler.backward <> None
+  in
+  let pt = Partition.partition ?slack ~parts graph in
+  let replicas =
+    Array.map
+      (fun (part : Partition.part) ->
+        let engine = Engine.create ~device ~scale:1.0 ~obs () in
+        let slab = Exec.create_slab () in
+        let n_local = part.Partition.sub.G.num_nodes in
+        let inputs =
+          Array.map (fun lrec -> Tensor.zeros [| n_local; lrec.in_dim |]) layer_recs
+        in
+        let sessions =
+          Array.mapi
+            (fun l lrec ->
+              let cfg =
+                {
+                  Session.Config.default with
+                  Session.Config.engine = Some engine;
+                  slab = Some slab;
+                  seed;
+                  node_inputs = [ (lrec.feature_name, inputs.(l)) ];
+                  weights = List.map (fun (n, w) -> (n, Tensor.copy w)) lrec.master;
+                }
+              in
+              Session.create ~config:cfg ~graph:part.Partition.sub lrec.compiled)
+            layer_recs
+        in
+        (* warm every plan's arena now, so the first epoch already runs at
+           the steady-state allocation count *)
+        Array.iteri
+          (fun l lrec ->
+            let exec = Session.exec sessions.(l) in
+            Exec.warm_plan ~free_temps:(not training) exec lrec.compiled.Compiler.forward;
+            match lrec.compiled.Compiler.backward with
+            | Some b when training -> Exec.warm_plan ~free_temps:true exec b
+            | _ -> ())
+          layer_recs;
+        (* the backward plan's seed gradient enters as a node input; bind a
+           persistent buffer once so training steps never allocate it *)
+        if training then begin
+          let lrec = layer_recs.(0) in
+          let seed_name = Autodiff.grad_name lrec.out_name in
+          let alloc =
+            Engine.alloc_tensor engine ~label:seed_name ~rows:n_local ~cols:lrec.out_dim ()
+          in
+          Env.add (Session.exec sessions.(0)).Exec.env ~name:seed_name
+            {
+              Env.tensor = Tensor.zeros [| n_local; lrec.out_dim |];
+              space = Mat.Rows_nodes;
+              dim = lrec.out_dim;
+              alloc = Some alloc;
+            }
+        end;
+        { part; engine; inputs; sessions })
+      pt.Partition.members
+  in
+  let fused = fused_outs layer_recs.(0).compiled.Compiler.weight_ops in
+  let reduce_scratch =
+    if training then
+      List.filter_map
+        (fun (n, w) ->
+          if List.mem n fused then None else Some (n, Tensor.zeros (Tensor.shape w)))
+        layer_recs.(0).master
+    else []
+  in
+  {
+    graph;
+    pt;
+    cm;
+    layers = layer_recs;
+    replicas;
+    features;
+    out_stage = Tensor.zeros [| graph.G.num_nodes; layer_recs.(Array.length layer_recs - 1).out_dim |];
+    fused;
+    reduce_scratch;
+    training;
+    inv_n = 1.0 /. float_of_int (max 1 graph.G.num_nodes);
+  }
+
+let parts t = t.pt.Partition.parts
+let partition t = t.pt
+let comms t = t.cm
+let master_weights t = Array.to_list (Array.map (fun lrec -> lrec.master) t.layers)
+let engines t = Array.map (fun r -> r.engine) t.replicas
+
+let weights_of t p =
+  if p < 0 || p >= Array.length t.replicas then invalid_arg "Replica.weights_of: bad replica";
+  Session.weights t.replicas.(p).sessions.(0)
+
+let elapsed_ms t =
+  Array.fold_left (fun acc r -> Float.max acc (Engine.elapsed_ms r.engine)) 0.0 t.replicas
+
+let comm_ms t =
+  Array.fold_left
+    (fun acc r -> acc +. (Stats.of_category (Engine.stats r.engine) Kernel.Comm).Stats.time_ms)
+    0.0 t.replicas
+
+let busy_ms t =
+  Array.fold_left
+    (fun acc r -> acc +. Stats.attributed_ms (Engine.stats r.engine))
+    0.0 t.replicas
+
+let alloc_counts t =
+  Array.map (fun r -> Memory.alloc_count (Engine.memory r.engine)) t.replicas
+
+let reset_clocks t = Array.iter (fun r -> Engine.reset_clock r.engine) t.replicas
+
+let copy_row ~src ~si ~dst ~di d =
+  for j = 0 to d - 1 do
+    Tensor.set2 dst di j (Tensor.get2 src si j)
+  done
+
+(* BSP barrier: bring every replica to the slowest clock before a
+   communication phase, attributed as host sync so per-op times still cover
+   the whole clock. *)
+let barrier t =
+  let tmax = elapsed_ms t in
+  Array.iter
+    (fun r ->
+      let lag = tmax -. Engine.elapsed_ms r.engine in
+      if lag > 0.0 then Engine.host_sync r.engine ~us:(lag *. 1e3) ())
+    t.replicas
+
+let out_tensor r lrec =
+  (Env.find (Session.exec r.sessions.(0)).Exec.env lrec.out_name).Env.tensor
+
+let layer_out_tensor r l lrec =
+  (Env.find (Session.exec r.sessions.(l)).Exec.env lrec.out_name).Env.tensor
+
+(* Fill layer [l]'s input on every replica: owned rows from the layer's
+   upstream (parent features for layer 0, the replica's own previous-layer
+   output otherwise), halo rows from the owning replica — the exchange
+   proper, charged to the receiving engine. *)
+let fill_and_exchange t l =
+  let lrec = t.layers.(l) in
+  Array.iter
+    (fun r ->
+      let input = r.inputs.(l) in
+      if l = 0 then
+        (* layer 0: every local row mirrors the parent feature row; the halo
+           rows' values are what the owners would send, so only the cost is
+           charged below *)
+        Array.iteri
+          (fun i parent -> copy_row ~src:t.features ~si:parent ~dst:input ~di:i lrec.in_dim)
+          r.part.Partition.origin_node
+      else begin
+        (* self rows from the replica's own previous-layer output (halo rows
+           are stale here and overwritten by the exchange) *)
+        let prev = layer_out_tensor r (l - 1) t.layers.(l - 1) in
+        Tensor.fill input 0.0;
+        Tensor.add_inplace input prev
+      end)
+    t.replicas;
+  barrier t;
+  Array.iter
+    (fun r ->
+      let input = r.inputs.(l) in
+      Array.iter
+        (fun (peer, pairs) ->
+          if l > 0 then begin
+            let src = layer_out_tensor t.replicas.(peer) (l - 1) t.layers.(l - 1) in
+            Array.iter
+              (fun (local, peer_local) ->
+                copy_row ~src ~si:peer_local ~dst:input ~di:local lrec.in_dim)
+              pairs
+          end;
+          Comms.charge t.cm r.engine ~op:"halo_exchange" ~messages:1
+            ~bytes:(float_of_int (Array.length pairs * lrec.in_dim * 4)))
+        r.part.Partition.halo)
+    t.replicas
+
+let run_layer t l =
+  Array.iter
+    (fun r ->
+      Exec.run_plan ~free_temps:(not t.training)
+        (Session.exec r.sessions.(l))
+        t.layers.(l).compiled.Compiler.forward)
+    t.replicas
+
+let assemble t =
+  let last = Array.length t.layers - 1 in
+  let lrec = t.layers.(last) in
+  Array.iter
+    (fun r ->
+      let out = layer_out_tensor r last lrec in
+      Array.iter
+        (fun i ->
+          copy_row ~src:out ~si:i ~dst:t.out_stage
+            ~di:r.part.Partition.origin_node.(i)
+            lrec.out_dim)
+        r.part.Partition.owned_nodes)
+    t.replicas;
+  t.out_stage
+
+let forward t =
+  for l = 0 to Array.length t.layers - 1 do
+    fill_and_exchange t l;
+    run_layer t l
+  done;
+  assemble t
+
+(* Masked NLL over this replica's owned rows, normalized by the global node
+   count; the gradient lands directly in the persistent backward-seed
+   buffer (halo rows zero).  Same math and kernel charges as
+   [Train.nll_loss], restricted to the owned rows. *)
+let masked_nll t (r : replica) ~labels =
+  let lrec = t.layers.(0) in
+  let out = out_tensor r lrec in
+  let seed = (Env.find (Session.exec r.sessions.(0)).Exec.env (Autodiff.grad_name lrec.out_name)).Env.tensor in
+  let c = lrec.out_dim in
+  let loss = ref 0.0 in
+  let owned_count = ref 0 in
+  Array.iteri
+    (fun i parent ->
+      if r.part.Partition.owned.(i) then begin
+        incr owned_count;
+        let label = labels.(parent) in
+        if label < 0 || label >= c then invalid_arg "Replica.train_step: label out of range";
+        let m = ref neg_infinity in
+        for j = 0 to c - 1 do
+          if Tensor.get2 out i j > !m then m := Tensor.get2 out i j
+        done;
+        let z = ref 0.0 in
+        for j = 0 to c - 1 do
+          z := !z +. Stdlib.exp (Tensor.get2 out i j -. !m)
+        done;
+        let logz = Stdlib.log !z +. !m in
+        loss := !loss -. ((Tensor.get2 out i label -. logz) *. t.inv_n);
+        for j = 0 to c - 1 do
+          let p = Stdlib.exp (Tensor.get2 out i j -. logz) in
+          Tensor.set2 seed i j ((if j = label then p -. 1.0 else p) *. t.inv_n)
+        done
+      end
+      else
+        for j = 0 to c - 1 do
+          Tensor.set2 seed i j 0.0
+        done)
+    r.part.Partition.origin_node;
+  let n = !owned_count in
+  let bytes = float_of_int (n * c * 4) in
+  let launch name flops =
+    Engine.launch r.engine
+      (Kernel.make ~name ~category:Kernel.Reduction
+         ~grid_blocks:(max 1 (n / 256))
+         ~flops ~bytes_coalesced:(2.0 *. bytes)
+         ~provenance:(Kernel.provenance ~origin:"dist.replica" "loss")
+         ())
+  in
+  launch "log_softmax" (float_of_int (n * c * 5));
+  launch "nll_grad" (float_of_int (n * c));
+  !loss
+
+(* Simulated ring all-reduce: the numeric sum is taken in fixed replica
+   order and broadcast back (so every replica holds the identical summed
+   gradient); the cost charged per replica is the standard ring figure —
+   2·(P−1) messages of total_bytes/P each. *)
+let allreduce_grads t =
+  barrier t;
+  List.iter
+    (fun (name, scratch) ->
+      Tensor.fill scratch 0.0;
+      Array.iter
+        (fun r ->
+          Tensor.add_inplace scratch
+            (Env.weight_grad (Session.exec r.sessions.(0)).Exec.env name))
+        t.replicas;
+      Array.iter
+        (fun r ->
+          let g = Env.weight_grad (Session.exec r.sessions.(0)).Exec.env name in
+          Tensor.fill g 0.0;
+          Tensor.add_inplace g scratch)
+        t.replicas)
+    t.reduce_scratch;
+  let p = t.pt.Partition.parts in
+  if p > 1 then begin
+    let total_bytes =
+      List.fold_left
+        (fun acc (_, s) -> acc +. float_of_int (Tensor.numel s * 4))
+        0.0 t.reduce_scratch
+    in
+    let messages = 2 * (p - 1) in
+    Array.iter
+      (fun r ->
+        Comms.charge t.cm r.engine ~op:"allreduce" ~messages
+          ~bytes:(float_of_int messages *. total_bytes /. float_of_int p))
+      t.replicas
+  end
+
+let train_step t ?(lr = 0.01) ~labels () =
+  if not t.training then
+    invalid_arg "Replica.train_step: requires a single layer compiled with training = true";
+  if Array.length labels <> t.graph.G.num_nodes then
+    invalid_arg "Replica.train_step: one label per parent node required";
+  let lrec = t.layers.(0) in
+  let backward = Option.get lrec.compiled.Compiler.backward in
+  fill_and_exchange t 0;
+  run_layer t 0;
+  let total_loss = ref 0.0 in
+  Array.iter (fun r -> total_loss := !total_loss +. masked_nll t r ~labels) t.replicas;
+  Array.iter
+    (fun r ->
+      let exec = Session.exec r.sessions.(0) in
+      Exec.run_plan ~free_temps:true exec backward;
+      Train.backprop_weight_ops ~exec lrec.compiled.Compiler.weight_ops;
+      Exec.free_temp_buffers exec lrec.compiled.Compiler.forward)
+    t.replicas;
+  allreduce_grads t;
+  Array.iter
+    (fun r -> Train.sgd_step ~skip:t.fused ~exec:(Session.exec r.sessions.(0)) ~lr ())
+    t.replicas;
+  !total_loss
+
+let metrics_json t =
+  let reps =
+    t.replicas
+    |> Array.mapi (fun i r ->
+           let st = Engine.stats r.engine in
+           Printf.sprintf
+             "{\"replica\":%d,\"elapsed_ms\":%.4f,\"comm_ms\":%.4f,\"launches\":%d,\
+              \"alloc_count\":%d}"
+             i (Engine.elapsed_ms r.engine)
+             (Stats.of_category st Kernel.Comm).Stats.time_ms
+             (Stats.total st).Stats.launches
+             (Memory.alloc_count (Engine.memory r.engine)))
+    |> Array.to_list |> String.concat ","
+  in
+  Printf.sprintf
+    "{\"parts\":%d,\"edge_cut\":%.4f,\"balance\":%.4f,\"elapsed_ms\":%.4f,\"comm_ms\":%.4f,\
+     \"busy_ms\":%.4f,\"replicas\":[%s]}"
+    (parts t)
+    (Partition.edge_cut_fraction t.pt)
+    (Partition.balance t.pt) (elapsed_ms t) (comm_ms t) (busy_ms t) reps

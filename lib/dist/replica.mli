@@ -1,0 +1,122 @@
+(** Data-parallel replicated execution over a partitioned graph.
+
+    [create] splits a graph with {!Hector_graph.Partition}, then builds one
+    {e replica} per partition: a full executor stack (own engine with its
+    own simulated clock, statistics and memory; own arena slab; sessions
+    through the standard {!Hector_runtime.Session} path) over the
+    partition's local subgraph.  Replicas are assumed to run concurrently;
+    the cluster-level simulated time is the {e maximum} of the replica
+    clocks, and replicas are synchronized (BSP-style, charged as host
+    syncs) before every communication phase.
+
+    {b Exactness.}  Every edge lives in the partition owning its
+    destination, so each replica holds the complete in-neighborhood of its
+    owned nodes; halo rows (boundary sources owned elsewhere) receive their
+    feature values from the owning replica before every layer.  Owned
+    output rows are therefore {e exactly} the rows a single-replica run
+    produces (up to floating-point reassociation), for any partition count.
+    Training replicates this for gradients: each replica computes the NLL
+    over its owned rows only (normalized by the {e global} node count), the
+    per-replica weight gradients — linear in those masked seed gradients —
+    are summed by a simulated ring all-reduce, and every replica applies
+    the same summed gradient in its SGD step, so weights stay identical
+    across replicas.
+
+    {b Cost model.}  Halo exchanges and the gradient all-reduce are charged
+    through {!Comms} to the receiving replica's engine as [Comm]-category
+    pseudo-ops (["halo_exchange"], ["allreduce"]), so they show up in
+    {!Hector_gpu.Stats.by_op}, [metrics_json] and chrome traces, and
+    [Stats.attributed_ms = Engine.elapsed_ms] keeps holding per replica.
+
+    Replicas compile nothing (they run the plans they are given) and, after
+    the first step, allocate no plan-buffer storage: the per-replica arena
+    slab is warmed at creation, so steady-state epochs leave
+    {!Hector_gpu.Memory.alloc_count} unchanged on every replica. *)
+
+module Tensor = Hector_tensor.Tensor
+module Engine = Hector_gpu.Engine
+
+type t
+
+val create :
+  ?parts:int ->
+  ?slack:float ->
+  ?comms:Comms.t ->
+  ?device:Hector_gpu.Device.t ->
+  ?seed:int ->
+  ?obs:Hector_obs.t ->
+  features:Tensor.t ->
+  graph:Hector_graph.Hetgraph.t ->
+  Hector_core.Compiler.compiled list ->
+  t
+(** [create ~features ~graph layers] partitions [graph] and builds the
+    replicas.  [layers] is the non-empty stack of compiled single-layer
+    programs executed in order, each declaring exactly one node input
+    (edge inputs are restricted to the conventional ["norm"], recomputed
+    per partition — an exact restriction, because every local edge has an
+    owned destination with its complete in-neighborhood); the node-input
+    width of each layer must match the previous layer's output width, and
+    the first must match [features] (one row per parent node).
+
+    [parts] defaults to the [HECTOR_DIST_PARTS] knob, then 2; [slack] is
+    the partitioner's balance slack (default 0).  Master weights are drawn
+    once (Glorot, from [seed]) and deep-copied into every replica, so all
+    replicas start identical; retrieve them with {!master_weights} to build
+    a bit-identical reference session.  Raises [Invalid_argument] on
+    unsupported programs, mismatched widths or bad partition counts. *)
+
+val parts : t -> int
+val partition : t -> Hector_graph.Partition.t
+val comms : t -> Comms.t
+
+val forward : t -> Tensor.t
+(** Run one layer-wise forward pass: for each layer, synchronize replicas,
+    exchange halo rows (charged to the receiving engine), run the layer on
+    every replica; finally assemble the owned output rows into parent node
+    order.  The returned tensor (one row per parent node) is owned by the
+    cluster and valid until the next [forward] or {!train_step} call. *)
+
+val train_step : t -> ?lr:float -> labels:int array -> unit -> float
+(** One data-parallel training step: forward (with halo exchange), masked
+    NLL over owned rows against [labels] (one class per {e parent} node,
+    normalized by the global node count), per-replica backward, ring
+    all-reduce of the weight gradients (each replica is charged
+    [2·(parts−1)] messages of [total_bytes/parts]), synchronized SGD.
+    Returns the global loss (the sum of the per-replica masked losses).
+    Requires exactly one layer, compiled with [training = true]; raises
+    [Invalid_argument] otherwise. *)
+
+val master_weights : t -> (string * Tensor.t) list list
+(** Per layer, the initial master weight stacks (the values every replica
+    started from — {e not} live: training updates replica copies only).
+    Pass these to a reference {!Hector_runtime.Session} to reproduce the
+    cluster bit-for-bit. *)
+
+val weights_of : t -> int -> (string * Tensor.t) list
+(** Live weight stacks of one replica's (single) training layer — after
+    any number of steps these are identical across replicas. *)
+
+val engines : t -> Engine.t array
+(** Per-replica engines (clock, statistics, memory), index = partition. *)
+
+val elapsed_ms : t -> float
+(** Cluster simulated time: the maximum replica clock. *)
+
+val comm_ms : t -> float
+(** Total interconnect time summed across replicas ([Comm] category). *)
+
+val busy_ms : t -> float
+(** Total attributed time summed across replicas (compute + comm + sync) —
+    the denominator-side aggregate for comm/compute ratios. *)
+
+val alloc_counts : t -> int array
+(** Per-replica {!Hector_gpu.Memory.alloc_count} — constant across
+    steady-state epochs. *)
+
+val reset_clocks : t -> unit
+(** Zero every replica's clock and statistics (e.g. after warm-up). *)
+
+val metrics_json : t -> string
+(** Single-line JSON: partition stats (parts, edge-cut fraction, balance),
+    cluster times, and a per-replica array of elapsed/comm/alloc/launch
+    figures. *)

@@ -156,22 +156,30 @@ let scaled_kernel t (k : Kernel.t) =
       bytes_atomic = k.Kernel.bytes_atomic *. s;
     }
 
-let launch t k =
-  let k' = scaled_kernel t k in
-  let time = cost_ms t.device k' in
+let record_timed t k' time =
   if t.trace then
     t.events <-
       {
-        name = k.Kernel.name;
-        category = k.Kernel.category;
+        name = k'.Kernel.name;
+        category = k'.Kernel.category;
         start_ms = t.clock_ms;
         duration_ms = time;
-        prov = k.Kernel.prov;
+        prov = k'.Kernel.prov;
       }
       :: t.events;
   t.clock_ms <- t.clock_ms +. time;
-  Obs.add t.obs "engine.launches" 1;
   Stats.record t.stats k' ~time_ms:time ~flops:k'.Kernel.flops ~bytes:(Kernel.total_bytes k')
+
+let charge t ~ms k =
+  if ms < 0.0 then invalid_arg "Engine.charge: negative duration";
+  Obs.add t.obs "engine.comm_charges" 1;
+  record_timed t k ms
+
+let launch t k =
+  let k' = scaled_kernel t k in
+  let time = cost_ms t.device k' in
+  Obs.add t.obs "engine.launches" 1;
+  record_timed t k' time
 
 let host_sync t ?(us = 5.0) () =
   let time_ms = us *. 1e-3 in

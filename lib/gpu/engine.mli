@@ -33,6 +33,17 @@ val scale : t -> float
 val launch : t -> Kernel.t -> unit
 (** Execute one kernel launch: advance the clock and record statistics. *)
 
+val charge : t -> ms:float -> Kernel.t -> unit
+(** [charge t ~ms k] accounts an event whose duration was computed {e
+    outside} the device cost model — interconnect transfers of the
+    distributed runtime ({!Kernel.category} [Comm]), whose time comes from
+    a per-message latency + link bandwidth model rather than the roofline.
+    The clock advances by exactly [ms]; the event is recorded in the
+    statistics (per-category, per-kernel and per-provenance-op tables, so
+    {!Stats.attributed_ms} still covers the whole clock) and on the trace
+    timeline.  No graph-proportional scaling is applied.  Raises
+    [Invalid_argument] on negative [ms]. *)
+
 val host_sync : t -> ?us:float -> unit -> unit
 (** Charge a host-side synchronization/dispatch gap (e.g. a Python-loop
     iteration between per-relation kernels in baseline systems).  The gap

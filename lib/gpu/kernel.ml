@@ -1,4 +1,4 @@
-type category = Gemm | Traversal | Copy | Index | Fallback | Reduction
+type category = Gemm | Traversal | Copy | Index | Fallback | Reduction | Comm
 
 let category_name = function
   | Gemm -> "gemm"
@@ -7,8 +7,9 @@ let category_name = function
   | Index -> "index"
   | Fallback -> "fallback"
   | Reduction -> "reduction"
+  | Comm -> "comm"
 
-let all_categories = [ Gemm; Traversal; Copy; Index; Fallback; Reduction ]
+let all_categories = [ Gemm; Traversal; Copy; Index; Fallback; Reduction; Comm ]
 
 type provenance = { op : string; step : int; origin : string }
 

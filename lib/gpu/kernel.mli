@@ -13,6 +13,10 @@ type category =
   | Index  (** index construction / conversion (Figure 1 "indexing") *)
   | Fallback  (** operators executed by the PyTorch-fallback path *)
   | Reduction  (** standalone reductions (losses, norms) *)
+  | Comm
+      (** inter-replica interconnect transfers (halo exchange, gradient
+          all-reduce) — charged by the distributed runtime's {!Engine.charge}
+          with an externally computed cost, never by the device roofline *)
 
 val category_name : category -> string
 (** Short label used in breakdown tables ("gemm", "traversal", ...). *)

@@ -73,5 +73,23 @@ val in_degrees_by_rel : t -> int array array
 (** [in_degrees_by_rel g] has element [(r, v)] = number of incoming edges of
     relation [r] at node [v] — the [c_{v,r}] normalization of RGCN. *)
 
+type induced = {
+  sub : t;  (** the induced subgraph, a valid graph of its own *)
+  origin_node : int array;  (** subgraph node id → parent node id *)
+  origin_edge : int array;  (** subgraph edge id → parent edge id *)
+}
+(** An induced subgraph with its maps back into the parent. *)
+
+val induce : ?name:string -> t -> nodes:int array -> edges:int array -> induced
+(** [induce g ~nodes ~edges] renumbers the given member nodes and edges
+    into a self-contained subgraph upholding every {!create} invariant —
+    the extraction shared by the neighborhood sampler and the graph
+    partitioner.  [nodes] are distinct parent node ids in any order (the
+    subgraph orders them by (type, parent id), so the construction is
+    deterministic); [edges] are parent edge ids whose endpoints must all be
+    members (their relative order within each edge type is preserved in
+    [origin_edge]).  Raises [Invalid_argument] on duplicates, out-of-range
+    ids, or an edge endpoint outside [nodes]. *)
+
 val pp : Format.formatter -> t -> unit
 (** One-line summary printer. *)

@@ -39,41 +39,20 @@ let sample ?(seed = 0) ~(graph : Hetgraph.t) ~seeds ~fanout ~hops () =
       !frontier;
     frontier := !next
   done;
-  (* renumber nodes, grouped by type to keep the presorting invariant *)
-  let nodes = Hashtbl.fold (fun v () acc -> v :: acc) in_block [] in
-  let origin_node =
-    Array.of_list
-      (List.sort
-         (fun a b ->
-           compare
-             (graph.Hetgraph.node_type.(a), a)
-             (graph.Hetgraph.node_type.(b), b))
-         nodes)
-  in
-  let new_id = Hashtbl.create (Array.length origin_node) in
-  Array.iteri (fun i v -> Hashtbl.replace new_id v i) origin_node;
-  let node_type = Array.map (fun v -> graph.Hetgraph.node_type.(v)) origin_node in
-  (* stable-sort the selected edges by type so Hetgraph.create's ordering
-     matches ours and the origin mapping survives *)
-  let origin_edge = Array.of_list (List.rev !edges) in
-  Array.stable_sort (fun a b -> compare graph.Hetgraph.etype.(a) graph.Hetgraph.etype.(b)) origin_edge;
-  let triples =
-    Array.map
-      (fun eid ->
-        ( Hashtbl.find new_id graph.Hetgraph.src.(eid),
-          Hashtbl.find new_id graph.Hetgraph.dst.(eid),
-          graph.Hetgraph.etype.(eid) ))
-      origin_edge
-  in
-  let sub =
-    Hetgraph.create
+  (* renumbering, type grouping and edge-order preservation live in the
+     shared induced-subgraph helper (also used by the graph partitioner) *)
+  let nodes = Array.of_list (Hashtbl.fold (fun v () acc -> v :: acc) in_block []) in
+  let induced =
+    Hetgraph.induce
       ~name:(graph.Hetgraph.name ^ "_block")
-      ~metagraph:graph.Hetgraph.metagraph ~node_type ~edges:triples ()
+      graph ~nodes ~edges:(Array.of_list (List.rev !edges))
   in
+  let new_id = Hashtbl.create (Array.length induced.Hetgraph.origin_node) in
+  Array.iteri (fun i v -> Hashtbl.replace new_id v i) induced.Hetgraph.origin_node;
   {
-    graph = sub;
-    origin_node;
-    origin_edge;
+    graph = induced.Hetgraph.sub;
+    origin_node = induced.Hetgraph.origin_node;
+    origin_edge = induced.Hetgraph.origin_edge;
     seed_nodes = Array.map (Hashtbl.find new_id) seeds;
   }
 

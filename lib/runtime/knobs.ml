@@ -6,10 +6,22 @@ type t = {
   obs : bool;
   serve_batch : int option;
   serve_queue : int option;
+  dist_parts : int option;
+  dist_latency_us : float option;
+  dist_bandwidth_gbs : float option;
 }
 
 let defaults =
-  { domains = None; arena = true; obs = false; serve_batch = None; serve_queue = None }
+  {
+    domains = None;
+    arena = true;
+    obs = false;
+    serve_batch = None;
+    serve_queue = None;
+    dist_parts = None;
+    dist_latency_us = None;
+    dist_bandwidth_gbs = None;
+  }
 
 let truthy s =
   match String.lowercase_ascii (String.trim s) with
@@ -42,7 +54,18 @@ let parse getenv =
   in
   let serve_batch = positive "HECTOR_SERVE_BATCH" in
   let serve_queue = positive "HECTOR_SERVE_QUEUE" in
-  { domains; arena; obs; serve_batch; serve_queue }
+  let positive_float name =
+    match getenv name with
+    | None -> None
+    | Some s -> (
+        match float_of_string_opt (String.trim s) with
+        | Some f when f > 0.0 && Float.is_finite f -> Some f
+        | _ -> None)
+  in
+  let dist_parts = positive "HECTOR_DIST_PARTS" in
+  let dist_latency_us = positive_float "HECTOR_DIST_LATENCY_US" in
+  let dist_bandwidth_gbs = positive_float "HECTOR_DIST_BW_GBS" in
+  { domains; arena; obs; serve_batch; serve_queue; dist_parts; dist_latency_us; dist_bandwidth_gbs }
 
 let cache : t option ref = ref None
 

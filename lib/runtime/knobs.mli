@@ -19,7 +19,13 @@
        {!Hector_serve} batch former (positive integer);}
     {- [HECTOR_SERVE_QUEUE] — default admission-queue capacity of the
        serving subsystem (positive integer; arrivals beyond it are
-       shed).}}
+       shed);}
+    {- [HECTOR_DIST_PARTS] — default partition/replica count of the
+       distributed execution subsystem (positive integer);}
+    {- [HECTOR_DIST_LATENCY_US] — simulated interconnect per-message
+       latency in microseconds (positive float);}
+    {- [HECTOR_DIST_BW_GBS] — simulated interconnect bandwidth in GB/s
+       (positive float).}}
 
     At module initialization this registers the [HECTOR_DOMAINS] parser as
     {!Hector_tensor.Domain_pool.set_default_sizing}'s hook, so pool sizing
@@ -33,6 +39,11 @@ type t = {
       (** [HECTOR_SERVE_BATCH], validated; [None] = unset/invalid
           (serving falls back to its built-in default) *)
   serve_queue : int option;  (** [HECTOR_SERVE_QUEUE], validated *)
+  dist_parts : int option;
+      (** [HECTOR_DIST_PARTS], validated; [None] = unset/invalid (the
+          distributed runtime falls back to its built-in default) *)
+  dist_latency_us : float option;  (** [HECTOR_DIST_LATENCY_US], validated *)
+  dist_bandwidth_gbs : float option;  (** [HECTOR_DIST_BW_GBS], validated *)
 }
 
 val parse : (string -> string option) -> t

@@ -18,4 +18,5 @@ let () =
       ("serve", Test_serve.suite);
       ("frontend", Test_frontend.suite);
       ("obs", Test_obs.suite);
+      ("dist", Test_dist.suite);
     ]
