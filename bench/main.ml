@@ -102,6 +102,7 @@ type micro_result = {
   sim_ms : float option;  (* simulated GPU time of one run (session cases) *)
   allocs : int;  (* tensor allocations in one steady-state run *)
   copied : int;  (* bytes moved by gather/scatter/copy in one run *)
+  launches : int option;  (* kernel launches in one run (session cases) *)
 }
 
 (* --- observability snapshot (the "_meta" entry of BENCH_micro.json) ---
@@ -191,7 +192,14 @@ let read_baseline path =
                    | Some i -> float_after line (i + 8)
                    | None -> None
                  in
-                 if ns <> None || sim <> None then entries := (name, ns, sim) :: !entries
+                 let launches =
+                   match substring_index line "\"launches\"" with
+                   | Some i ->
+                       Option.map int_of_float (float_after line (i + 10))
+                   | None -> None
+                 in
+                 if ns <> None || sim <> None || launches <> None then
+                   entries := (name, ns, sim, launches) :: !entries
                end)
      done
    with End_of_file -> close_in ic);
@@ -207,16 +215,28 @@ let check_regressions ~baseline ~tolerance results =
     if String.equal flag "REGRESSION" then regressions := (name ^ " " ^ unit) :: !regressions;
     Printf.printf "  %-28s %12.3f -> %12.3f %s  (%5.2fx)  %s\n" name base est unit ratio flag
   in
+  (* launch counts gate one-sided with ZERO tolerance: they are exact on
+     the simulated engine, so any increase over the committed baseline is a
+     regression (a fusion or planning change silently adding launches) *)
+  let compare_launches name base est =
+    let flag = if est > base then "REGRESSION" else "ok" in
+    if String.equal flag "REGRESSION" then regressions := (name ^ " launches") :: !regressions;
+    Printf.printf "  %-28s %12d -> %12d launches (one-sided)  %s\n" name base est flag
+  in
   List.iter
-    (fun (name, base_ns, base_sim) ->
+    (fun (name, base_ns, base_sim, base_launches) ->
       let r = List.assoc_opt name results in
       (match (base_ns, r) with
       | Some base, Some { ns = Some est; _ } -> compare_one name "ns/run" base est
       | Some base, _ -> Printf.printf "  %-28s %12.1f -> (no measurement)\n" name base
       | None, _ -> ());
-      match (base_sim, r) with
+      (match (base_sim, r) with
       | Some base, Some { sim_ms = Some est; _ } -> compare_one name "sim-ms" base est
       | Some base, _ -> Printf.printf "  %-28s %12.3f -> (no simulated time)\n" name base
+      | None, _ -> ());
+      match (base_launches, r) with
+      | Some base, Some { launches = Some est; _ } -> compare_launches name base est
+      | Some base, _ -> Printf.printf "  %-28s %12d -> (no launch count)\n" name base
       | None, _ -> ())
     baseline;
   match !regressions with
@@ -271,20 +291,29 @@ let run_micro ~json ~check ~tolerance () =
             (fun s -> Hector_gpu.Engine.elapsed_ms (Hector_runtime.Session.engine s))
             csession
         in
+        let launches =
+          Option.map
+            (fun s ->
+              (Hector_gpu.Stats.total
+                 (Hector_gpu.Engine.stats (Hector_runtime.Session.engine s)))
+                .Hector_gpu.Stats.launches)
+            csession
+        in
         (match ns with
         | Some est ->
-            Printf.printf "  %-28s %12.1f ns/run %8d allocs %12d copied-bytes%s\n" name est
+            Printf.printf "  %-28s %12.1f ns/run %8d allocs %12d copied-bytes%s%s\n" name est
               allocs copied
               (match sim_ms with Some s -> Printf.sprintf "  %10.3f sim-ms" s | None -> "")
+              (match launches with Some l -> Printf.sprintf "  %4d launches" l | None -> "")
         | None -> Printf.printf "  %-28s (no estimate) %8d allocs %12d copied-bytes\n" name
               allocs copied);
-        (name, { ns; sim_ms; allocs; copied }))
+        (name, { ns; sim_ms; allocs; copied; launches }))
       cases
   in
   if json then begin
     (* machine-readable perf trajectory: name -> {ns, sim_ms, allocs,
-       copied_bytes}, one entry per line, plus a "_meta" line holding the
-       observability snapshots of the flagship cases *)
+       copied_bytes, launches}, one entry per line, plus a "_meta" line
+       holding the observability snapshots of the flagship cases *)
     let meta = meta_snapshots () in
     let buf = Buffer.create 1024 in
     Buffer.add_string buf "{\n";
@@ -293,11 +322,13 @@ let run_micro ~json ~check ~tolerance () =
         if i > 0 then Buffer.add_string buf ",\n";
         Buffer.add_string buf
           (Printf.sprintf
-             "  \"%s\": {\"ns\": %s, \"sim_ms\": %s, \"allocs\": %d, \"copied_bytes\": %d}"
+             "  \"%s\": {\"ns\": %s, \"sim_ms\": %s, \"allocs\": %d, \"copied_bytes\": %d, \
+              \"launches\": %s}"
              (Hector_gpu.Engine.json_escape name)
              (match r.ns with Some e -> Printf.sprintf "%.1f" e | None -> "null")
              (match r.sim_ms with Some s -> Printf.sprintf "%.6f" s | None -> "null")
-             r.allocs r.copied))
+             r.allocs r.copied
+             (match r.launches with Some l -> string_of_int l | None -> "null")))
       results;
     Buffer.add_string buf ",\n  \"_meta\": {";
     List.iteri
@@ -388,21 +419,27 @@ let run_serve ~json ~check ~tolerance () =
     s.Serve.requests s.Serve.lserved s.Serve.lshed s.Serve.lbatches s.Serve.mean_batch
     s.Serve.throughput_rps s.Serve.p50_ms s.Serve.p95_ms s.Serve.p99_ms
     s.Serve.launches_per_request;
+  (* total kernel launches of the whole run rides on the per-request entry;
+     it gates one-sided with zero tolerance like every launch column *)
   let entries =
     [
-      ("serve/p50", s.Serve.p50_ms);
-      ("serve/p95", s.Serve.p95_ms);
-      ("serve/p99", s.Serve.p99_ms);
-      ("serve/ms_per_request", ms_per_request);
-      ("serve/launches_per_request", s.Serve.launches_per_request);
+      ("serve/p50", s.Serve.p50_ms, None);
+      ("serve/p95", s.Serve.p95_ms, None);
+      ("serve/p99", s.Serve.p99_ms, None);
+      ("serve/ms_per_request", ms_per_request, None);
+      ("serve/launches_per_request", s.Serve.launches_per_request, Some (Serve.launches server));
     ]
   in
   if json then begin
     let buf = Buffer.create 512 in
     Buffer.add_string buf "{\n";
     List.iter
-      (fun (name, v) ->
-        Buffer.add_string buf (Printf.sprintf "  \"%s\": {\"sim_ms\": %.6f},\n" name v))
+      (fun (name, v, launches) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  \"%s\": {\"sim_ms\": %.6f%s},\n" name v
+             (match launches with
+             | Some l -> Printf.sprintf ", \"launches\": %d" l
+             | None -> "")))
       entries;
     Buffer.add_string buf (Printf.sprintf "  \"_meta\": %s\n}\n" (Serve.metrics_json server));
     let oc = open_out "BENCH_serve.json" in
@@ -413,7 +450,9 @@ let run_serve ~json ~check ~tolerance () =
   match (check, baseline) with
   | Some _, Some baseline ->
       let results =
-        List.map (fun (name, v) -> (name, { ns = None; sim_ms = Some v; allocs = 0; copied = 0 }))
+        List.map
+          (fun (name, v, launches) ->
+            (name, { ns = None; sim_ms = Some v; allocs = 0; copied = 0; launches }))
           entries
       in
       if not (check_regressions ~baseline ~tolerance results) then exit 1
@@ -472,36 +511,43 @@ let run_dist ~json ~check ~tolerance () =
           ignore (Replica.train_step cluster ~labels ())
         done;
         let ms_epoch = Replica.elapsed_ms cluster /. float_of_int epochs in
+        let launches_epoch = Replica.launches cluster / epochs in
         let busy = Replica.busy_ms cluster in
         let comm_ratio = if busy > 0.0 then Replica.comm_ms cluster /. busy else 0.0 in
         let pt = Replica.partition cluster in
         Printf.printf
-          "  %d partition(s): %8.3f sim-ms/epoch   comm/busy %.4f   edge cut %4.1f%%   balance %.3f\n"
-          parts ms_epoch comm_ratio
+          "  %d partition(s): %8.3f sim-ms/epoch   %4d launches/epoch   comm/busy %.4f   \
+           edge cut %4.1f%%   balance %.3f\n"
+          parts ms_epoch launches_epoch comm_ratio
           (100.0 *. Hector_graph.Partition.edge_cut_fraction pt)
           (Hector_graph.Partition.balance pt);
-        (parts, ms_epoch, comm_ratio, cluster))
+        (parts, ms_epoch, launches_epoch, comm_ratio, cluster))
       [ 1; 2; 4 ]
   in
   let entries =
     List.concat_map
-      (fun (parts, ms_epoch, comm_ratio, _) ->
-        (Printf.sprintf "dist/p%d_ms_epoch" parts, ms_epoch)
-        :: (if parts > 1 then [ (Printf.sprintf "dist/p%d_comm_ratio" parts, comm_ratio) ]
+      (fun (parts, ms_epoch, launches_epoch, comm_ratio, _) ->
+        (Printf.sprintf "dist/p%d_ms_epoch" parts, ms_epoch, Some launches_epoch)
+        :: (if parts > 1 then
+              [ (Printf.sprintf "dist/p%d_comm_ratio" parts, comm_ratio, None) ]
             else []))
       measured
   in
   if json then begin
     let meta =
       match List.rev measured with
-      | (_, _, _, cluster) :: _ -> Replica.metrics_json cluster
+      | (_, _, _, _, cluster) :: _ -> Replica.metrics_json cluster
       | [] -> "{}"
     in
     let buf = Buffer.create 512 in
     Buffer.add_string buf "{\n";
     List.iter
-      (fun (name, v) ->
-        Buffer.add_string buf (Printf.sprintf "  \"%s\": {\"sim_ms\": %.6f},\n" name v))
+      (fun (name, v, launches) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  \"%s\": {\"sim_ms\": %.6f%s},\n" name v
+             (match launches with
+             | Some l -> Printf.sprintf ", \"launches\": %d" l
+             | None -> "")))
       entries;
     Buffer.add_string buf (Printf.sprintf "  \"_meta\": %s\n}\n" meta);
     let oc = open_out "BENCH_dist.json" in
@@ -512,7 +558,9 @@ let run_dist ~json ~check ~tolerance () =
   match (check, baseline) with
   | Some _, Some baseline ->
       let results =
-        List.map (fun (name, v) -> (name, { ns = None; sim_ms = Some v; allocs = 0; copied = 0 }))
+        List.map
+          (fun (name, v, launches) ->
+            (name, { ns = None; sim_ms = Some v; allocs = 0; copied = 0; launches }))
           entries
       in
       if not (check_regressions ~baseline ~tolerance results) then exit 1
@@ -543,15 +591,19 @@ let usage () =
     \                   comm/compute ratio per partition count)\n\
     \  --check FILE     with --micro/--serve/--dist: compare against a baseline\n\
     \                   BENCH_micro.json / BENCH_serve.json / BENCH_dist.json;\n\
-    \                   exit 1 on any regression\n\
+    \                   exit 1 on any regression (launch counts gate one-sided\n\
+    \                   with zero tolerance: any increase fails)\n\
     \  --tolerance T    with --check: allowed slowdown fraction\n\
     \                   before a result counts as a regression (default 0.25)\n\
+    \  --no-fuse        disable the compiler's inter-op kernel-fusion pass\n\
+    \                   (plans reproduce the pre-fusion pipeline bit-for-bit)\n\
     \  --max-nodes N    cap physical replica size (default 2000)\n\
     \  --max-edges N    cap physical replica size (default 6000)\n\
     \  --help           show this message\n\n\
      Environment knobs (parsed by Hector_runtime.Knobs; see README):\n\
     \  HECTOR_DOMAINS   multicore backend size (1 = sequential)\n\
     \  HECTOR_ARENA     0 disables the plan-lifetime memory planner\n\
+    \  HECTOR_FUSE_OPS  0 disables inter-op kernel fusion (same as --no-fuse)\n\
     \  HECTOR_OBS       1 enables observability for knob-driven sessions\n\
     \  HECTOR_SERVE_BATCH  serving micro-batch cap (default 8)\n\
     \  HECTOR_SERVE_QUEUE  serving admission-queue bound (default 64)\n\
@@ -573,6 +625,7 @@ type cli = {
   mutable json : bool;
   mutable check : string option;
   mutable tolerance : float;
+  mutable no_fuse : bool;
   mutable max_nodes : int;
   mutable max_edges : int;
   mutable selected : string list;  (* experiment flags, reversed *)
@@ -587,6 +640,7 @@ let parse_cli argv =
       json = false;
       check = None;
       tolerance = 0.25;
+      no_fuse = false;
       max_nodes = 2000;
       max_edges = 6000;
       selected = [];
@@ -633,6 +687,9 @@ let parse_cli argv =
                 go rest
             | _ -> cli_error "--tolerance expects a non-negative number, got %S" v)
         | [] -> cli_error "--tolerance expects a numeric argument")
+    | "--no-fuse" :: rest ->
+        cli.no_fuse <- true;
+        go rest
     | "--max-nodes" :: rest ->
         let n, rest = int_value "--max-nodes" rest in
         cli.max_nodes <- n;
@@ -653,6 +710,9 @@ let parse_cli argv =
 
 let () =
   let cli = parse_cli Sys.argv in
+  (* the flag overrides the HECTOR_FUSE_OPS hook Knobs registered at init,
+     so every compilation below sees fusion off *)
+  if cli.no_fuse then Hector_core.Compiler.set_fuse_ops_default (fun () -> false);
   if (if cli.micro then 1 else 0) + (if cli.serve then 1 else 0) + (if cli.dist then 1 else 0) > 1
   then cli_error "--micro, --serve and --dist are mutually exclusive";
   if cli.json && not (cli.micro || cli.serve || cli.dist) then

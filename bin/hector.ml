@@ -41,6 +41,18 @@ let training_arg =
 
 let cuda_arg = Arg.(value & flag & info [ "cuda" ] ~doc:"Print the full generated CUDA-like code.")
 
+let no_fuse_arg =
+  Arg.(value & flag
+       & info [ "no-fuse" ]
+           ~doc:"Disable the compiler's inter-op kernel-fusion pass (reproduces the \
+                 pre-fusion plans bit-for-bit; same as HECTOR_FUSE_OPS=0).")
+
+(* overrides the HECTOR_FUSE_OPS hook Hector_runtime.Knobs registered at
+   init, so every compilation in this invocation sees fusion off — including
+   the ones serving and autotuning perform internally *)
+let apply_no_fuse no_fuse =
+  if no_fuse then Compiler.set_fuse_ops_default (fun () -> false)
+
 let max_edges_arg =
   Arg.(value & opt int 6000 & info [ "max-edges" ] ~docv:"N" ~doc:"Physical edge cap per replica.")
 
@@ -49,7 +61,8 @@ let compile_model model ~training ~compact ~fusion =
   Compiler.compile ~options:(Compiler.options_of_flags ~training ~compact ~fusion ()) program
 
 let cmd_compile =
-  let run model compact fusion training cuda =
+  let run model compact fusion training cuda no_fuse =
+    apply_no_fuse no_fuse;
     let compiled = compile_model model ~training ~compact ~fusion in
     Format.printf "%a@." Plan.pp compiled.Compiler.forward;
     (match compiled.Compiler.backward with
@@ -62,14 +75,16 @@ let cmd_compile =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a model and show its plan (and optionally the CUDA).")
-    Term.(const run $ model_arg $ compact_arg $ fusion_arg $ training_arg $ cuda_arg)
+    Term.(const run $ model_arg $ compact_arg $ fusion_arg $ training_arg $ cuda_arg
+          $ no_fuse_arg)
 
 let trace_arg =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE" ~doc:"Write a Chrome-tracing timeline of the run to FILE.")
 
 let cmd_run =
-  let run model dataset compact fusion training max_edges trace_file =
+  let run model dataset compact fusion training max_edges trace_file no_fuse =
+    apply_no_fuse no_fuse;
     let graph = Ds.load ~max_edges (Ds.find dataset) in
     let compiled = compile_model model ~training ~compact ~fusion in
     try
@@ -102,7 +117,7 @@ let cmd_run =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a model on a dataset replica on the simulated GPU.")
     Term.(const run $ model_arg $ dataset_arg $ compact_arg $ fusion_arg $ training_arg
-          $ max_edges_arg $ trace_arg)
+          $ max_edges_arg $ trace_arg $ no_fuse_arg)
 
 let cmd_datasets =
   let run max_edges =
@@ -170,7 +185,9 @@ let cmd_serve =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Print only the JSON load report.")
   in
-  let run model dataset max_edges rate requests seeds batch queue wait fanout hops seed json =
+  let run model dataset max_edges rate requests seeds batch queue wait fanout hops seed json
+      no_fuse =
+    apply_no_fuse no_fuse;
     if rate <= 0.0 then (
       Printf.eprintf "hector serve: --rate must be positive\n";
       exit 2);
@@ -214,7 +231,7 @@ let cmd_serve =
        ~doc:"Serve batched inference requests over a dataset replica (simulated clock).")
     Term.(const run $ model_arg $ dataset_arg $ max_edges_arg $ rate_arg $ requests_arg
           $ seeds_arg $ batch_arg $ queue_arg $ wait_arg $ fanout_arg $ hops_arg $ seed_arg
-          $ json_arg)
+          $ json_arg $ no_fuse_arg)
 
 let cmd_partition =
   let parts_arg =
@@ -240,7 +257,8 @@ let cmd_partition =
     Term.(const run $ dataset_arg $ max_edges_arg $ parts_arg $ slack_arg)
 
 let cmd_autotune =
-  let run model dataset training max_edges =
+  let run model dataset training max_edges no_fuse =
+    apply_no_fuse no_fuse;
     let graph = Ds.load ~max_edges (Ds.find dataset) in
     let result =
       Hector_runtime.Autotune.search ~training ~graph (Hector_models.Model_defs.by_name model ())
@@ -253,7 +271,7 @@ let cmd_autotune =
   in
   Cmd.v
     (Cmd.info "autotune" ~doc:"Search layouts, optimizations and schedules for a model+dataset.")
-    Term.(const run $ model_arg $ dataset_arg $ training_arg $ max_edges_arg)
+    Term.(const run $ model_arg $ dataset_arg $ training_arg $ max_edges_arg $ no_fuse_arg)
 
 let () =
   let info = Cmd.info "hector" ~version:"1.0" ~doc:"Hector RGNN compiler (GPU-simulated)." in

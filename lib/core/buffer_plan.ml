@@ -10,9 +10,10 @@ module Mat = Materialization
 (* Variable names a step touches (traversal locals excluded implicitly:
    they have no buffer).  Weight stacks and weight gradients are not plan
    buffers, so weight ops and Grad_weight targets contribute nothing. *)
-let step_vars step =
+let rec step_vars step =
   match step with
   | Plan.Weight_op _ -> []
+  | Plan.Fused { Plan.members; _ } -> List.concat_map step_vars members
   | Plan.Gemm spec -> (
       match spec.Gs.task with
       | Gs.Node_linear { input; output; _ } -> [ Gs.operand_name input; output ]
@@ -74,9 +75,15 @@ let covering_assign (b : Plan.buffer) strategy st =
       String.equal n b.Plan.name && b.Plan.space = Mat.Rows_nodes
   | _ -> false
 
-let fully_defined_by (b : Plan.buffer) step =
+let rec fully_defined_by (b : Plan.buffer) step =
   let n = b.Plan.name in
   match step with
+  | Plan.Fused { Plan.members; _ } -> (
+      (* within a fused group the members still run in order: the buffer is
+         fully defined iff the first member touching it fully defines it *)
+      match List.find_opt (fun m -> List.mem n (step_vars m)) members with
+      | Some m -> fully_defined_by b m
+      | None -> false)
   | Plan.Gemm { Gs.task = Gs.Node_linear { input; output; accumulate; _ }; _ } ->
       (* segment-MM over all node-type segments writes every node row *)
       String.equal output n && (not accumulate) && not (String.equal (Gs.operand_name input) n)

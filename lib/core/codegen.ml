@@ -206,22 +206,29 @@ let host_function (p : Plan.t) =
            buf.Plan.dim
            (if buf.Plan.zero_init then " // zero-initialized" else "")))
     p.Plan.buffers;
-  List.iter
-    (fun step ->
-      match step with
-      | Plan.Weight_op (Linear_fusion.Mat_vec { mat; vec; out; _ }) ->
-          buf_add b (Printf.sprintf "  auto %s = at::bmm(%s, %s); // linear-operator fusion\n" out mat vec)
-      | Plan.Weight_op (Linear_fusion.Mat_mat { left; right; out; _ }) ->
-          buf_add b (Printf.sprintf "  auto %s = at::bmm(%s, %s); // linear-operator fusion\n" out left right)
-      | Plan.Gemm g ->
-          buf_add b (Printf.sprintf "  %s<<<grid_%d, block_%d>>>(...);\n" (Gemm_spec.name g)
-                       g.Gemm_spec.kid g.Gemm_spec.kid)
-      | Plan.Traversal t ->
-          buf_add b (Printf.sprintf "  %s<<<grid, block>>>(...);\n" (Traversal_spec.name t))
-      | Plan.Fallback f ->
-          buf_add b (Printf.sprintf "  torch_fallback_%d(...); // %s via PyTorch ops\n" f.Plan.kid
-                       f.Plan.description))
-    p.Plan.steps;
+  let emit_step step =
+    match step with
+    | Plan.Weight_op (Linear_fusion.Mat_vec { mat; vec; out; _ }) ->
+        buf_add b (Printf.sprintf "  auto %s = at::bmm(%s, %s); // linear-operator fusion\n" out mat vec)
+    | Plan.Weight_op (Linear_fusion.Mat_mat { left; right; out; _ }) ->
+        buf_add b (Printf.sprintf "  auto %s = at::bmm(%s, %s); // linear-operator fusion\n" out left right)
+    | Plan.Gemm g ->
+        buf_add b (Printf.sprintf "  %s<<<grid_%d, block_%d>>>(...);\n" (Gemm_spec.name g)
+                     g.Gemm_spec.kid g.Gemm_spec.kid)
+    | Plan.Traversal t ->
+        buf_add b (Printf.sprintf "  %s<<<grid, block>>>(...);\n" (Traversal_spec.name t))
+    | Plan.Fallback f ->
+        buf_add b (Printf.sprintf "  torch_fallback_%d(...); // %s via PyTorch ops\n" f.Plan.kid
+                     f.Plan.description)
+    | Plan.Fused f ->
+        buf_add b
+          (Printf.sprintf "  %s<<<grid, block>>>(...); // inter-op fusion of: %s\n"
+             (Plan.step_name step)
+             (String.concat " + " (List.map Plan.step_name f.Plan.members)));
+        List.iter (fun m -> buf_add b (Printf.sprintf "  //   %s inlined\n" (Plan.step_name m)))
+          f.Plan.members
+  in
+  List.iter emit_step p.Plan.steps;
   buf_add b "}\n";
   Buffer.contents b
 
@@ -238,7 +245,7 @@ let emit_plan (p : Plan.t) =
       | Plan.Traversal t ->
           buf_add b (traversal_kernel ~spaces:p.Plan.spaces p.Plan.layout t);
           buf_add b "\n"
-      | Plan.Weight_op _ | Plan.Fallback _ -> ())
-    p.Plan.steps;
+      | Plan.Weight_op _ | Plan.Fallback _ | Plan.Fused _ -> ())
+    (Plan.flatten_steps p);
   buf_add b (host_function p);
   Buffer.contents b

@@ -9,6 +9,7 @@ type options = {
   gemm_schedule : Gemm_spec.schedule;
   traversal_schedule : Traversal_spec.schedule;
   prefer_node_gather : bool;
+  fuse_ops : bool option;
 }
 
 let default_options =
@@ -19,15 +20,26 @@ let default_options =
     gemm_schedule = Gemm_spec.default_schedule;
     traversal_schedule = Traversal_spec.default_schedule;
     prefer_node_gather = false;
+    fuse_ops = None;
   }
 
-let options_of_flags ?(training = false) ~compact ~fusion () =
+let options_of_flags ?(training = false) ?fuse_ops ~compact ~fusion () =
   {
     default_options with
     layout = (if compact then Layout.compact else Layout.default);
     linear_fusion = fusion;
     training;
+    fuse_ops;
   }
+
+(* Whether inter-op fusion applies when [options.fuse_ops] is [None]: the
+   runtime's knob layer registers the HECTOR_FUSE_OPS parser here (core
+   cannot depend on Hector_runtime).  Default: on. *)
+let fuse_ops_default : (unit -> bool) ref = ref (fun () -> true)
+let set_fuse_ops_default f = fuse_ops_default := f
+
+let fuse_ops_enabled options =
+  match options.fuse_ops with Some b -> b | None -> !fuse_ops_default ()
 
 type compiled = {
   options : options;
@@ -105,6 +117,12 @@ let compile ?(obs = Hector_obs.disabled) ?(options = default_options) program =
               ~traversal_schedule:options.traversal_schedule ~layout:options.layout
               ~weight_ops:[] r.Autodiff.program))
       backward_result
+  in
+  let forward, backward =
+    if fuse_ops_enabled options then
+      Hector_obs.time obs ~kind:"pass" "inter_op_fusion" (fun () ->
+          (Inter_op_fusion.run ~obs forward, Option.map (Inter_op_fusion.run ~obs) backward))
+    else (forward, backward)
   in
   Log.debug (fun m ->
       m "%s: forward plan %d gemm / %d traversal / %d fallback steps%s"

@@ -24,16 +24,27 @@ type options = {
       (** schedule pure destination-accumulation loops as node-centric
           gathers instead of edge-parallel atomics (the other side of the
           §3.3.3 trade-off; used by the schedule ablation) *)
+  fuse_ops : bool option;
+      (** apply the post-lowering {!Inter_op_fusion} pass; [None] (the
+          default) defers to the runtime knob ([HECTOR_FUSE_OPS], on unless
+          set to 0), [Some b] overrides it *)
 }
 
 val default_options : options
 (** Vanilla layout, no linear fusion, inference only, template-default
-    schedules — the paper's "unoptimized Hector". *)
+    schedules — the paper's "unoptimized Hector" — with inter-op fusion
+    deferred to the knob ([fuse_ops = None]). *)
 
-val options_of_flags : ?training:bool -> compact:bool -> fusion:bool -> unit -> options
+val options_of_flags :
+  ?training:bool -> ?fuse_ops:bool -> compact:bool -> fusion:bool -> unit -> options
 (** The four evaluation configurations of Table 5: [~compact:false
     ~fusion:false] = U, [true/false] = C, [false/true] = F, [true/true] =
-    C+F. *)
+    C+F.  [fuse_ops] (absent = follow the knob) gates inter-op fusion. *)
+
+val set_fuse_ops_default : (unit -> bool) -> unit
+(** Register the thunk consulted when [options.fuse_ops] is [None].
+    {!Hector_runtime.Knobs} installs the [HECTOR_FUSE_OPS] parser here at
+    module initialization; the built-in default is always-on. *)
 
 type compiled = {
   options : options;
@@ -53,4 +64,5 @@ val compile : ?obs:Hector_obs.t -> ?options:options -> Inter_ir.program -> compi
     [obs] (default {!Hector_obs.disabled}) records one ["compile"] pass
     span with nested children for each pipeline stage — [loop_transform],
     [check], [linear_fusion], [autodiff], [lowering.forward]/[.backward]
-    (which in turn nest [materialization] and [buffer_plan]). *)
+    (which in turn nest [materialization] and [buffer_plan]) and
+    [inter_op_fusion] when enabled. *)

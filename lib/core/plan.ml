@@ -19,6 +19,9 @@ type step =
   | Gemm of Gemm_spec.t
   | Traversal of Traversal_spec.t
   | Fallback of fallback
+  | Fused of fused
+
+and fused = { fid : int; members : step list }
 
 (* Memory-planner metadata (see Buffer_plan): one placement per buffer,
    recording its live range over the step list and the storage slot the
@@ -51,6 +54,7 @@ let step_name = function
   | Gemm g -> Gemm_spec.name g
   | Traversal t -> Traversal_spec.name t
   | Fallback f -> Printf.sprintf "fallback_%d" f.kid
+  | Fused f -> Printf.sprintf "fused_%d" f.fid
 
 (* The first variable a statement list writes — the inter-op IR operator a
    traversal/fallback step computes. *)
@@ -61,7 +65,7 @@ let rec stmt_write = function
 
 and first_write body = List.find_map stmt_write body
 
-let step_op step =
+let rec step_op step =
   match step with
   | Weight_op (Linear_fusion.Mat_vec { out; _ }) | Weight_op (Linear_fusion.Mat_mat { out; _ }) ->
       out
@@ -75,21 +79,56 @@ let step_op step =
   | Traversal tr -> (
       match first_write tr.Traversal_spec.body with Some x -> x | None -> step_name step)
   | Fallback f -> ( match first_write f.body with Some x -> x | None -> f.description)
+  | Fused f -> String.concat "+" (List.map step_op f.members)
 
 let step_origin = function
   | Weight_op _ -> "linear_fusion"
   | Gemm _ -> "lowering.gemm"
   | Traversal _ -> "lowering.traversal"
   | Fallback _ -> "lowering.fallback"
+  | Fused _ -> "inter_op_fusion"
+
+let step_constituents = function Fused f -> List.map step_op f.members | _ -> []
+
+(* Flatten fused groups back to their constituent steps: plan introspection
+   (gemm/traversal/fallback counts, codegen kernel emission) is about what
+   work the plan performs, not how many launches carry it. *)
+let rec flatten_step = function Fused f -> List.concat_map flatten_step f.members | s -> [ s ]
+let flatten_steps t = List.concat_map flatten_step t.steps
 
 let gemm_count t =
-  List.length (List.filter (function Gemm _ -> true | _ -> false) t.steps)
+  List.length (List.filter (function Gemm _ -> true | _ -> false) (flatten_steps t))
 
 let traversal_count t =
-  List.length (List.filter (function Traversal _ -> true | _ -> false) t.steps)
+  List.length (List.filter (function Traversal _ -> true | _ -> false) (flatten_steps t))
 
 let fallback_count t =
-  List.length (List.filter (function Fallback _ -> true | _ -> false) t.steps)
+  List.length (List.filter (function Fallback _ -> true | _ -> false) (flatten_steps t))
+
+let fused_count t =
+  List.length (List.filter (function Fused _ -> true | _ -> false) t.steps)
+
+(* Accumulator buffers whose whole live range sits inside one fused step:
+   their zero-initialization happens inside the fused kernel (accumulate in
+   registers / shared memory), so the runtime skips the separate memset
+   launch for them.  The storage fill itself still happens — numerics are
+   unchanged, only the launch charge goes away. *)
+let inline_zeroed t =
+  match t.memory with
+  | None -> []
+  | Some m ->
+      let steps = Array.of_list t.steps in
+      List.filter_map
+        (fun (b : buffer) ->
+          if not b.zero_init then None
+          else
+            match List.find_opt (fun p -> String.equal p.var b.name) m.placements with
+            | Some p
+              when p.first >= 0 && p.first = p.last && p.first < Array.length steps
+                   && (match steps.(p.first) with Fused _ -> true | _ -> false) ->
+                Some b.name
+            | _ -> None)
+        t.buffers
 
 let find_buffer t name = List.find_opt (fun (b : buffer) -> String.equal b.name name) t.buffers
 
@@ -108,7 +147,7 @@ let preprocessing t =
       | Materialization.Rows_nodes | Materialization.Rows_edges -> ())
     t.spaces;
   let uses_gather =
-    List.exists (function Gemm g -> Gemm_spec.uses_gather g | _ -> false) t.steps
+    List.exists (function Gemm g -> Gemm_spec.uses_gather g | _ -> false) (flatten_steps t)
   in
   if uses_gather then add "build endpoint gather lists for GEMM access schemes";
   List.rev !needs
@@ -134,16 +173,20 @@ let pp fmt t =
   Format.fprintf fmt "buffers:@,";
   List.iter (fun b -> Format.fprintf fmt "  %a@," pp_buffer b) t.buffers;
   Format.fprintf fmt "steps:";
-  List.iter
-    (fun s ->
-      match s with
-      | Weight_op (Linear_fusion.Mat_vec { mat; vec; half; out }) ->
-          Format.fprintf fmt "@,  %s = bmm(%s, %s%s)" out mat vec
-            (match half with `Left -> "[:half]" | `Right -> "[half:]" | `All -> "")
-      | Weight_op (Linear_fusion.Mat_mat { left; right; out; _ }) ->
-          Format.fprintf fmt "@,  %s = bmm(%s, %s)" out left right
-      | Gemm g -> Format.fprintf fmt "@,  %a" Gemm_spec.pp g
-      | Traversal tr -> Format.fprintf fmt "@,  %a" Traversal_spec.pp tr
-      | Fallback f -> Format.fprintf fmt "@,  fallback_%d (%s)" f.kid f.description)
-    t.steps;
+  let rec pp_step indent s =
+    match s with
+    | Weight_op (Linear_fusion.Mat_vec { mat; vec; half; out }) ->
+        Format.fprintf fmt "@,%s%s = bmm(%s, %s%s)" indent out mat vec
+          (match half with `Left -> "[:half]" | `Right -> "[half:]" | `All -> "")
+    | Weight_op (Linear_fusion.Mat_mat { left; right; out; _ }) ->
+        Format.fprintf fmt "@,%s%s = bmm(%s, %s)" indent out left right
+    | Gemm g -> Format.fprintf fmt "@,%s%a" indent Gemm_spec.pp g
+    | Traversal tr -> Format.fprintf fmt "@,%s%a" indent Traversal_spec.pp tr
+    | Fallback f -> Format.fprintf fmt "@,%sfallback_%d (%s)" indent f.kid f.description
+    | Fused f ->
+        Format.fprintf fmt "@,%sfused_%d (1 launch, %d ops):" indent f.fid
+          (List.length f.members);
+        List.iter (pp_step (indent ^ "  ")) f.members
+  in
+  List.iter (pp_step "  ") t.steps;
   Format.fprintf fmt "@]"

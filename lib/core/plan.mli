@@ -30,6 +30,11 @@ type step =
   | Gemm of Gemm_spec.t
   | Traversal of Traversal_spec.t
   | Fallback of fallback
+  | Fused of fused
+      (** inter-op fusion group: the members execute in order but the whole
+          group launches as one kernel (see {!Inter_op_fusion}) *)
+
+and fused = { fid : int; members : step list }
 
 type placement = {
   var : string;  (** buffer name *)
@@ -74,18 +79,36 @@ val step_op : step -> string
 
 val step_origin : step -> string
 (** The compiler component that emitted the step: ["linear_fusion"],
-    ["lowering.gemm"], ["lowering.traversal"] or ["lowering.fallback"] —
-    the [origin] field of the {!Hector_gpu.Kernel.provenance} the runtime
-    attaches to the step's launches. *)
+    ["lowering.gemm"], ["lowering.traversal"], ["lowering.fallback"] or
+    ["inter_op_fusion"] — the [origin] field of the
+    {!Hector_gpu.Kernel.provenance} the runtime attaches to the step's
+    launches. *)
+
+val step_constituents : step -> string list
+(** For a {!Fused} step, the [step_op] of every member in execution order
+    (the [fused] field of its launch provenance); [[]] for other steps. *)
+
+val flatten_steps : t -> step list
+(** The plan's steps with fused groups expanded back to their members, in
+    execution order — the per-kernel view of the plan. *)
 
 val gemm_count : t -> int
-(** Number of GEMM-template steps. *)
+(** Number of GEMM-template steps (counting inside fused groups). *)
 
 val traversal_count : t -> int
-(** Number of traversal-template steps. *)
+(** Number of traversal-template steps (counting inside fused groups). *)
 
 val fallback_count : t -> int
-(** Number of fallback steps. *)
+(** Number of fallback steps (counting inside fused groups). *)
+
+val fused_count : t -> int
+(** Number of fused-group steps. *)
+
+val inline_zeroed : t -> string list
+(** Names of zero-init (accumulator) buffers whose entire live range sits
+    inside a single fused step: their zeroing happens inside the fused
+    kernel, so the runtime charges no separate memset launch for them.
+    Empty when the plan carries no memory plan. *)
 
 val find_buffer : t -> string -> buffer option
 (** Look up a buffer by variable name. *)

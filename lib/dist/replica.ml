@@ -230,6 +230,11 @@ let busy_ms t =
     (fun acc r -> acc +. Stats.attributed_ms (Engine.stats r.engine))
     0.0 t.replicas
 
+let launches t =
+  Array.fold_left
+    (fun acc r -> acc + (Stats.total (Engine.stats r.engine)).Stats.launches)
+    0 t.replicas
+
 let alloc_counts t =
   Array.map (fun r -> Memory.alloc_count (Engine.memory r.engine)) t.replicas
 

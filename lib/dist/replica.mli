@@ -109,6 +109,11 @@ val busy_ms : t -> float
 (** Total attributed time summed across replicas (compute + comm + sync) —
     the denominator-side aggregate for comm/compute ratios. *)
 
+val launches : t -> int
+(** Total kernel launches summed across replicas since the last
+    {!reset_clocks} — the per-epoch launch count when divided by the
+    epochs run. *)
+
 val alloc_counts : t -> int array
 (** Per-replica {!Hector_gpu.Memory.alloc_count} — constant across
     steady-state epochs. *)

@@ -56,8 +56,16 @@ let add_kernel_event buf e =
     match e.prov with
     | None -> ""
     | Some p ->
-        Printf.sprintf ",\"args\":{\"op\":\"%s\",\"step\":%d,\"origin\":\"%s\"}"
-          (json_escape p.Kernel.op) p.Kernel.step (json_escape p.Kernel.origin)
+        let fused =
+          match p.Kernel.fused with
+          | [] -> ""
+          | ops ->
+              Printf.sprintf ",\"fused\":[%s]"
+                (String.concat ","
+                   (List.map (fun o -> Printf.sprintf "\"%s\"" (json_escape o)) ops))
+        in
+        Printf.sprintf ",\"args\":{\"op\":\"%s\",\"step\":%d,\"origin\":\"%s\"%s}"
+          (json_escape p.Kernel.op) p.Kernel.step (json_escape p.Kernel.origin) fused
   in
   Buffer.add_string buf
     (Printf.sprintf

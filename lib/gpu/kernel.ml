@@ -11,9 +11,9 @@ let category_name = function
 
 let all_categories = [ Gemm; Traversal; Copy; Index; Fallback; Reduction; Comm ]
 
-type provenance = { op : string; step : int; origin : string }
+type provenance = { op : string; step : int; origin : string; fused : string list }
 
-let provenance ?(step = -1) ~origin op = { op; step; origin }
+let provenance ?(step = -1) ?(fused = []) ~origin op = { op; step; origin; fused }
 
 type t = {
   name : string;

@@ -32,14 +32,21 @@ type provenance = {
   step : int;  (** plan step index that emitted the launch, [-1] if none *)
   origin : string;
       (** the compiler pass / runtime component that produced the kernel,
-          e.g. ["lowering.gemm"], ["linear_fusion"], ["runtime.memset"] *)
+          e.g. ["lowering.gemm"], ["linear_fusion"], ["inter_op_fusion"],
+          ["runtime.memset"] *)
+  fused : string list;
+      (** for an inter-op-fused launch, the constituent ops in execution
+          order; [[]] for ordinary launches.  The [op] field joins them
+          with ["+"], so {!Stats} by-op attribution stays total (every
+          simulated millisecond lands on exactly one op key). *)
 }
 (** Where a kernel launch came from.  Attached at lowering/runtime time so
     {!Stats} can attribute simulated time back to IR operators and passes
     (the per-op breakdowns of the paper's evaluation). *)
 
-val provenance : ?step:int -> origin:string -> string -> provenance
-(** [provenance ~origin op] builds a tag (default [step = -1]). *)
+val provenance : ?step:int -> ?fused:string list -> origin:string -> string -> provenance
+(** [provenance ~origin op] builds a tag (default [step = -1],
+    [fused = \[\]]). *)
 
 val unattributed : string
 (** The pseudo-op name launches without provenance are attributed to. *)

@@ -32,6 +32,8 @@ let remove t name =
 
 let add_weight t ~name w = Hashtbl.replace t.weights name w
 
+let weight_opt t name = Hashtbl.find_opt t.weights name
+
 let weight t name =
   match Hashtbl.find_opt t.weights name with
   | Some w -> w

@@ -36,6 +36,9 @@ val remove : t -> string -> entry option
 val add_weight : t -> name:string -> Tensor.t -> unit
 (** Bind a weight stack. *)
 
+val weight_opt : t -> string -> Tensor.t option
+(** A weight stack, or [None] when unbound. *)
+
 val weight : t -> string -> Tensor.t
 (** Raises [Invalid_argument] when absent. *)
 

@@ -57,23 +57,28 @@ type t = {
   slab : slab option;
   mutable arenas : (Plan.t * bool * arena) list;
   mutable cur_prov : Kernel.provenance option;
+  mutable capture : Kernel.t list ref option;
 }
 
 let planner_default () = (Knobs.current ()).Knobs.arena
 
 let create ?(opaque = []) ?planner ?slab ~engine ~ctx ~env () =
   let planner = match planner with Some p -> p | None -> planner_default () in
-  { engine; ctx; env; opaque; planner; slab; arenas = []; cur_prov = None }
+  { engine; ctx; env; opaque; planner; slab; arenas = []; cur_prov = None; capture = None }
 
 (* Launch a kernel under the provenance of the step being executed (set by
-   [run_step]); kernels that carry their own tag keep it. *)
+   [run_step]); kernels that carry their own tag keep it.  While a fused
+   step is executing its members ([capture] set), launches are recorded
+   instead of charged — the fused step then launches one merged kernel. *)
 let launch_attr t (k : Kernel.t) =
   let k =
     match (k.Kernel.prov, t.cur_prov) with
     | None, Some _ -> { k with Kernel.prov = t.cur_prov }
     | _ -> k
   in
-  Engine.launch t.engine k
+  match t.capture with
+  | Some captured -> captured := k :: !captured
+  | None -> Engine.launch t.engine k
 
 let value_dim = function Scalar _ -> 1 | Vector v -> Array.length v
 
@@ -1141,7 +1146,13 @@ let run_weight_op t op =
       let v = Env.weight t.env vec in
       let slices = Tensor.dim w 0 and k = Tensor.dim w 1 and n = Tensor.dim w 2 in
       let offset = match half with `Left | `All -> 0 | `Right -> n in
-      let result = Tensor.zeros [| slices; k |] in
+      (* steady-state runs reuse the product's storage: every element is
+         overwritten below, so a fresh zeroed tensor is only needed once *)
+      let result =
+        match Env.weight_opt t.env out with
+        | Some r when Tensor.shape r = [| slices; k |] -> r
+        | _ -> Tensor.zeros [| slices; k |]
+      in
       for s = 0 to slices - 1 do
         let ws = Tensor.slice0 w s in
         for i = 0 to k - 1 do
@@ -1157,7 +1168,12 @@ let run_weight_op t op =
       let l = Env.weight t.env left and r = Env.weight t.env right in
       let slices = Tensor.dim r 0 in
       let k = Tensor.dim l 1 and n = Tensor.dim r 2 in
-      let result = Tensor.zeros [| slices; k; n |] in
+      (* reused across runs: matmul_into (beta = 0) overwrites every slice *)
+      let result =
+        match Env.weight_opt t.env out with
+        | Some p when Tensor.shape p = [| slices; k; n |] -> p
+        | _ -> Tensor.zeros [| slices; k; n |]
+      in
       for s = 0 to slices - 1 do
         let nt =
           match left_slice with
@@ -1200,7 +1216,11 @@ let launch_memset t name rows dim =
        ~provenance:(Kernel.provenance ~origin:"runtime.memset" name)
        ())
 
-let alloc_buffer t (b : Plan.buffer) =
+(* [inlined] lists the zero-init buffers whose whole live range sits inside
+   one fused step (Plan.inline_zeroed): their accumulator is initialized
+   inside the fused kernel, so the zero fill still happens but no separate
+   memset launch is charged. *)
+let alloc_buffer ?(inlined = []) t (b : Plan.buffer) =
   let rows = Graph_ctx.rows_of_space t.ctx b.Plan.space in
   (match Env.find_opt t.env b.Plan.name with
   | Some entry ->
@@ -1215,7 +1235,8 @@ let alloc_buffer t (b : Plan.buffer) =
           dim = b.Plan.dim;
           alloc = Some alloc;
         });
-  if b.Plan.zero_init then launch_memset t b.Plan.name rows b.Plan.dim
+  if b.Plan.zero_init && not (List.mem b.Plan.name inlined) then
+    launch_memset t b.Plan.name rows b.Plan.dim
 
 let free_buffer t name =
   match Env.remove t.env name with
@@ -1227,23 +1248,56 @@ let free_temp_buffers t (plan : Plan.t) =
     (fun (b : Plan.buffer) -> if b.Plan.temp then free_buffer t b.Plan.name)
     plan.Plan.buffers
 
+(* One kernel standing for a whole fused group: the members' work summed,
+   launched once.  Members were executed (and their launches captured)
+   already, so numerics are exactly the unfused plan's — the merge only
+   changes the launch accounting. *)
+let merge_captured name ks =
+  let sum f = List.fold_left (fun a k -> a +. f k) 0.0 ks in
+  let maxi f = List.fold_left (fun a k -> max a (f k)) 1 ks in
+  let category =
+    if List.exists (fun k -> k.Kernel.category = Kernel.Gemm) ks then Kernel.Gemm
+    else Kernel.Traversal
+  in
+  Kernel.make ~name ~category
+    ~grid_blocks:(maxi (fun k -> k.Kernel.grid_blocks))
+    ~threads_per_block:(maxi (fun k -> k.Kernel.threads_per_block))
+    ~flops:(sum (fun k -> k.Kernel.flops))
+    ~bytes_coalesced:(sum (fun k -> k.Kernel.bytes_coalesced))
+    ~bytes_gathered:(sum (fun k -> k.Kernel.bytes_gathered))
+    ~bytes_atomic:(sum (fun k -> k.Kernel.bytes_atomic))
+    ~graph_proportional:(List.for_all (fun k -> k.Kernel.graph_proportional) ks)
+    ()
+
+let rec exec_step t (plan : Plan.t) step =
+  match step with
+  | Plan.Weight_op op -> run_weight_op t op
+  | Plan.Gemm spec -> run_gemm t spec
+  | Plan.Traversal spec -> run_traversal t ~program:plan.Plan.program ~layout:plan.Plan.layout spec
+  | Plan.Fallback f -> run_fallback t ~program:plan.Plan.program f
+  | Plan.Fused f ->
+      let captured = ref [] in
+      let prev = t.capture in
+      t.capture <- Some captured;
+      Fun.protect
+        ~finally:(fun () -> t.capture <- prev)
+        (fun () -> List.iter (exec_step t plan) f.Plan.members);
+      (match List.rev !captured with
+      | [] -> ()
+      | ks -> launch_attr t (merge_captured (Plan.step_name step) ks))
+
 let run_step ?(step_idx = -1) t (plan : Plan.t) step =
   t.cur_prov <-
-    Some (Kernel.provenance ~step:step_idx ~origin:(Plan.step_origin step) (Plan.step_op step));
-  Fun.protect
-    ~finally:(fun () -> t.cur_prov <- None)
-    (fun () ->
-      match step with
-      | Plan.Weight_op op -> run_weight_op t op
-      | Plan.Gemm spec -> run_gemm t spec
-      | Plan.Traversal spec ->
-          run_traversal t ~program:plan.Plan.program ~layout:plan.Plan.layout spec
-      | Plan.Fallback f -> run_fallback t ~program:plan.Plan.program f)
+    Some
+      (Kernel.provenance ~step:step_idx ~origin:(Plan.step_origin step)
+         ~fused:(Plan.step_constituents step) (Plan.step_op step));
+  Fun.protect ~finally:(fun () -> t.cur_prov <- None) (fun () -> exec_step t plan step)
 
 (* planner off: every plan buffer is allocated for the whole run — the
    reference point the planner's peak-memory saving is measured against *)
 let run_plan_upfront ~free_temps t (plan : Plan.t) =
-  List.iter (fun (b : Plan.buffer) -> alloc_buffer t b) plan.Plan.buffers;
+  let inlined = Plan.inline_zeroed plan in
+  List.iter (fun (b : Plan.buffer) -> alloc_buffer ~inlined t b) plan.Plan.buffers;
   List.iteri (fun i step -> run_step ~step_idx:i t plan step) plan.Plan.steps;
   if free_temps then free_temp_buffers t plan
 
@@ -1384,7 +1438,7 @@ let warm_plan ?(free_temps = true) t (plan : Plan.t) =
    a memset launch) every run; other buffers start zeroed the first time
    they exist — which for a freed-and-recreated temporary is every run —
    unless the planner proved their defining step fully overwrites them. *)
-let bind_managed ~shared t (m : managed) =
+let bind_managed ?(inlined = []) ~shared t (m : managed) =
   let b = m.mbuf in
   let needs_zero =
     if b.Plan.zero_init then true
@@ -1395,18 +1449,20 @@ let bind_managed ~shared t (m : managed) =
   m.minitialized <- true;
   Env.add t.env ~name:b.Plan.name
     { Env.tensor = m.mview; space = b.Plan.space; dim = b.Plan.dim; alloc = None };
-  if b.Plan.zero_init then launch_memset t b.Plan.name (Tensor.dim m.mview 0) b.Plan.dim
+  if b.Plan.zero_init && not (List.mem b.Plan.name inlined) then
+    launch_memset t b.Plan.name (Tensor.dim m.mview 0) b.Plan.dim
 
 let run_plan ?(free_temps = true) t (plan : Plan.t) =
   Hector_obs.time (Engine.obs t.engine) ~kind:"run" ("run_plan:" ^ plan.Plan.name) @@ fun () ->
   if not t.planner then run_plan_upfront ~free_temps t plan
   else begin
     let arena = find_arena t plan ~shared:free_temps in
-    List.iter (fun b -> alloc_buffer t b) arena.aother;
-    List.iter (bind_managed ~shared:free_temps t) arena.apre;
+    let inlined = Plan.inline_zeroed plan in
+    List.iter (fun b -> alloc_buffer ~inlined t b) arena.aother;
+    List.iter (bind_managed ~inlined ~shared:free_temps t) arena.apre;
     List.iteri
       (fun i step ->
-        List.iter (bind_managed ~shared:free_temps t) arena.abind.(i);
+        List.iter (bind_managed ~inlined ~shared:free_temps t) arena.abind.(i);
         run_step ~step_idx:i t plan step;
         if free_temps then List.iter (fun n -> free_buffer t n) arena.aunbind.(i))
       plan.Plan.steps;

@@ -52,6 +52,10 @@ type t = {
   mutable cur_prov : Hector_gpu.Kernel.provenance option;
       (** provenance of the plan step currently executing; applied to every
           kernel the step launches *)
+  mutable capture : Hector_gpu.Kernel.t list ref option;
+      (** while a {!Hector_core.Plan.step.Fused} group executes its members,
+          their launches are recorded here instead of charged; the group
+          then launches one merged kernel carrying the summed work *)
 }
 
 val create :

@@ -4,6 +4,7 @@ type t = {
   domains : int option;
   arena : bool;
   obs : bool;
+  fuse_ops : bool;
   serve_batch : int option;
   serve_queue : int option;
   dist_parts : int option;
@@ -16,6 +17,7 @@ let defaults =
     domains = None;
     arena = true;
     obs = false;
+    fuse_ops = true;
     serve_batch = None;
     serve_queue = None;
     dist_parts = None;
@@ -43,6 +45,9 @@ let parse getenv =
         | _ -> None)
   in
   let arena = match getenv "HECTOR_ARENA" with None -> true | Some s -> not (falsy s) in
+  let fuse_ops =
+    match getenv "HECTOR_FUSE_OPS" with None -> true | Some s -> not (falsy s)
+  in
   let obs = match getenv "HECTOR_OBS" with None -> false | Some s -> truthy s in
   let positive name =
     match getenv name with
@@ -65,7 +70,17 @@ let parse getenv =
   let dist_parts = positive "HECTOR_DIST_PARTS" in
   let dist_latency_us = positive_float "HECTOR_DIST_LATENCY_US" in
   let dist_bandwidth_gbs = positive_float "HECTOR_DIST_BW_GBS" in
-  { domains; arena; obs; serve_batch; serve_queue; dist_parts; dist_latency_us; dist_bandwidth_gbs }
+  {
+    domains;
+    arena;
+    obs;
+    fuse_ops;
+    serve_batch;
+    serve_queue;
+    dist_parts;
+    dist_latency_us;
+    dist_bandwidth_gbs;
+  }
 
 let cache : t option ref = ref None
 
@@ -80,3 +95,8 @@ let current () = match !cache with Some k -> k | None -> refresh ()
    initialization, which happens whenever any Hector_runtime module is
    linked (Exec depends on this module). *)
 let () = Domain_pool.set_default_sizing (fun () -> (current ()).domains)
+
+(* Likewise for inter-op fusion: the compiler consults this thunk whenever
+   [Compiler.options.fuse_ops] is [None], so HECTOR_FUSE_OPS=0 reproduces
+   the pre-fusion pipeline without touching call sites. *)
+let () = Hector_core.Compiler.set_fuse_ops_default (fun () -> (current ()).fuse_ops)

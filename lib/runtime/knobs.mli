@@ -12,6 +12,9 @@
        [1] forces the sequential reference backend);}
     {- [HECTOR_ARENA] — plan-lifetime arena memory planner, on unless set
        to ["0"]/["false"];}
+    {- [HECTOR_FUSE_OPS] — the compiler's inter-op kernel-fusion pass, on
+       unless set to ["0"]/["false"] (off reproduces the pre-fusion plans
+       bit-for-bit);}
     {- [HECTOR_OBS] — observability ([1]/[true] enables span + counter
        collection for sessions that don't configure it explicitly; off by
        default);}
@@ -29,12 +32,15 @@
 
     At module initialization this registers the [HECTOR_DOMAINS] parser as
     {!Hector_tensor.Domain_pool.set_default_sizing}'s hook, so pool sizing
-    flows through the same snapshot. *)
+    flows through the same snapshot, and the [HECTOR_FUSE_OPS] parser as
+    {!Hector_core.Compiler.set_fuse_ops_default}'s hook, so compilations
+    that leave [options.fuse_ops] unset follow the knob. *)
 
 type t = {
   domains : int option;  (** [HECTOR_DOMAINS], validated; [None] = unset/invalid *)
   arena : bool;  (** [HECTOR_ARENA], default [true] *)
   obs : bool;  (** [HECTOR_OBS], default [false] *)
+  fuse_ops : bool;  (** [HECTOR_FUSE_OPS], default [true] *)
   serve_batch : int option;
       (** [HECTOR_SERVE_BATCH], validated; [None] = unset/invalid
           (serving falls back to its built-in default) *)

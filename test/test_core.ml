@@ -469,7 +469,7 @@ let test_lowering_per_row_scalar_fusion () =
       (function
         | Plan.Gemm { Gs.task = Gs.Edge_linear { per_row_scalar = Some "sc"; _ }; _ } -> true
         | _ -> false)
-      c.Compiler.forward.Plan.steps
+      (Plan.flatten_steps c.Compiler.forward)
   in
   check_bool "scalar fused into GEMM store" true gemm_with_scalar
 

@@ -10,6 +10,7 @@ let () =
       ("gpu", Test_gpu.suite);
       ("core", Test_core.suite);
       ("buffer_plan", Test_buffer_plan.suite);
+      ("fusion", Test_fusion.suite);
       ("runtime", Test_runtime.suite);
       ("baselines", Test_baselines.suite);
       ("models", Test_models.suite);

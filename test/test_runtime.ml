@@ -192,8 +192,11 @@ let test_training_reduces_loss () =
 
 let test_stats_shape () =
   let graph = test_graph () in
+  (* inter-op fusion off: this pins the per-category launch counts of the
+     unfused pipeline (the fused counts are pinned in test_fusion.ml) *)
   let compiled =
-    Compiler.compile ~options:(Compiler.options_of_flags ~compact:false ~fusion:false ())
+    Compiler.compile
+      ~options:(Compiler.options_of_flags ~fuse_ops:false ~compact:false ~fusion:false ())
       (Models.rgat ())
   in
   let session = Session.create ~seed:5 ~graph compiled in
