@@ -458,6 +458,121 @@ let run_serve ~json ~check ~tolerance () =
       if not (check_regressions ~baseline ~tolerance results) then exit 1
   | _ -> ()
 
+(* --- autotune benchmark (--tune) -----------------------------------
+
+   Runs the two-stage autotuner (estimate the full candidate space with
+   Plan_cost, measure the top-k plus the four fixed layouts) on every
+   model-zoo entry over the micro graph and gates, in-run and one-sided,
+   that the tuned configuration matches or beats EVERY fixed U/C/F/C+F
+   configuration.  Writes BENCH_tune.json in the BENCH_micro.json shape
+   (per-entry "sim_ms" + a "_meta" table of winners), so --check also
+   gates the tuned and fixed times against the committed baseline. *)
+
+module Autotune = Hector_runtime.Autotune
+module Compiler = Hector_core.Compiler
+
+let run_tune ~json ~check ~tolerance () =
+  let baseline = Option.map read_baseline check in
+  let graph = micro_graph () in
+  let fixed_configs =
+    [ ("U", false, false); ("C", true, false); ("F", false, true); ("C+F", true, true) ]
+  in
+  print_endline "Autotune benchmark (two-stage search, simulated clock):";
+  let failures = ref [] in
+  let per_model =
+    List.map
+      (fun model ->
+        let program = Hector_models.Model_defs.by_name model ~in_dim:32 ~out_dim:16 () in
+        let r = Autotune.search ~graph program in
+        let best = r.Autotune.best in
+        let measured_of options =
+          let id = Compiler.options_id options in
+          match
+            List.find_opt
+              (fun (c : Autotune.candidate) ->
+                String.equal (Compiler.options_id c.Autotune.options) id)
+              r.Autotune.all
+          with
+          | Some c -> c.Autotune.time_ms
+          | None -> nan (* fixed layouts are always measured; unreachable *)
+        in
+        let fixed =
+          List.map
+            (fun (tag, compact, fusion) ->
+              (tag, measured_of (Compiler.options_of_flags ~compact ~fusion ())))
+            fixed_configs
+        in
+        Printf.printf "  %-5s tuned %-28s est %.4f measured %.4f sim-ms\n" model
+          (Compiler.options_id best.Autotune.options)
+          best.Autotune.estimated_ms best.Autotune.time_ms;
+        List.iter
+          (fun (tag, t) ->
+            let ok = best.Autotune.time_ms <= t +. 1e-9 in
+            if not ok then
+              failures := Printf.sprintf "%s: tuned %.4f > %s %.4f" model
+                            best.Autotune.time_ms tag t
+                          :: !failures;
+            Printf.printf "        fixed %-5s %.4f sim-ms  %s\n" tag t
+              (if ok then "ok" else "TUNED SLOWER"))
+          fixed;
+        (model, best, fixed))
+      [ "rgcn"; "rgat"; "hgt" ]
+  in
+  let entries =
+    List.concat_map
+      (fun (model, best, fixed) ->
+        (Printf.sprintf "tune/%s_tuned" model, best.Autotune.time_ms)
+        :: List.map
+             (fun (tag, t) ->
+               ( Printf.sprintf "tune/%s_%s" model
+                   (if String.equal tag "C+F" then "CF" else tag),
+                 t ))
+             fixed)
+      per_model
+  in
+  if json then begin
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "{\n";
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string buf (Printf.sprintf "  \"%s\": {\"sim_ms\": %.6f},\n" name v))
+      entries;
+    Buffer.add_string buf "  \"_meta\": {";
+    List.iteri
+      (fun i (model, best, _) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf
+             "\"%s\": {\"best\": \"%s\", \"estimated_ms\": %.6f, \"measured_ms\": %.6f}"
+             model
+             (Hector_gpu.Engine.json_escape (Compiler.options_id best.Autotune.options))
+             best.Autotune.estimated_ms best.Autotune.time_ms))
+      per_model;
+    Buffer.add_string buf "}\n}\n";
+    let oc = open_out "BENCH_tune.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "\nWrote BENCH_tune.json (%d entries + _meta)\n" (List.length entries)
+  end;
+  (* the in-run gate is one-sided and unconditional: a tuned configuration
+     slower than any fixed configuration is a search or estimator bug *)
+  (match !failures with
+  | [] -> Printf.printf "\nTuned >= every fixed configuration on all models.\n"
+  | fs ->
+      Printf.printf "\n%d tuned-slower failure(s):\n" (List.length fs);
+      List.iter (fun f -> Printf.printf "  %s\n" f) (List.rev fs);
+      exit 1);
+  match (check, baseline) with
+  | Some _, Some baseline ->
+      let results =
+        List.map
+          (fun (name, v) ->
+            (name, { ns = None; sim_ms = Some v; allocs = 0; copied = 0; launches = None }))
+          entries
+      in
+      if not (check_regressions ~baseline ~tolerance results) then exit 1
+  | _ -> ()
+
 (* --- distributed benchmark (--dist) --------------------------------
 
    Data-parallel RGCN training over a partitioned synthetic graph at 1, 2
@@ -581,6 +696,9 @@ let usage () =
     \  --dist           run the distributed-training benchmark instead\n\
     \                   (data-parallel RGCN at 1/2/4 partitions with halo\n\
     \                   exchange and gradient all-reduce)\n\
+    \  --tune           run the autotuner benchmark instead: two-stage search\n\
+    \                   per model-zoo entry, gating (one-sided, in-run) that\n\
+    \                   the tuned config beats every fixed U/C/F/C+F config\n\
     \  --json           with --micro: write BENCH_micro.json\n\
     \                   (name -> {ns, sim_ms, allocs, copied_bytes}, plus a\n\
     \                   \"_meta\" observability snapshot) and BENCH_trace.json\n\
@@ -588,7 +706,9 @@ let usage () =
     \                   with --serve: write BENCH_serve.json (latency\n\
     \                   percentiles, throughput, launches per request);\n\
     \                   with --dist: write BENCH_dist.json (sim-ms/epoch and\n\
-    \                   comm/compute ratio per partition count)\n\
+    \                   comm/compute ratio per partition count);\n\
+    \                   with --tune: write BENCH_tune.json (tuned and fixed\n\
+    \                   sim-ms per model + a \"_meta\" table of winners)\n\
     \  --check FILE     with --micro/--serve/--dist: compare against a baseline\n\
     \                   BENCH_micro.json / BENCH_serve.json / BENCH_dist.json;\n\
     \                   exit 1 on any regression (launch counts gate one-sided\n\
@@ -608,7 +728,8 @@ let usage () =
     \  HECTOR_SERVE_BATCH  serving micro-batch cap (default 8)\n\
     \  HECTOR_SERVE_QUEUE  serving admission-queue bound (default 64)\n\
     \  HECTOR_DIST_PARTS   default partition count for distributed runs\n\
-    \  HECTOR_DIST_LATENCY_US / HECTOR_DIST_BW_GBS  interconnect cost model\n"
+    \  HECTOR_DIST_LATENCY_US / HECTOR_DIST_BW_GBS  interconnect cost model\n\
+    \  HECTOR_TUNE_DB   persistent plan-tuning database path (JSON)\n"
 
 let cli_error fmt =
   Printf.ksprintf
@@ -622,6 +743,7 @@ type cli = {
   mutable micro : bool;
   mutable serve : bool;
   mutable dist : bool;
+  mutable tune : bool;
   mutable json : bool;
   mutable check : string option;
   mutable tolerance : float;
@@ -637,6 +759,7 @@ let parse_cli argv =
       micro = false;
       serve = false;
       dist = false;
+      tune = false;
       json = false;
       check = None;
       tolerance = 0.25;
@@ -668,6 +791,9 @@ let parse_cli argv =
         go rest
     | "--dist" :: rest ->
         cli.dist <- true;
+        go rest
+    | "--tune" :: rest ->
+        cli.tune <- true;
         go rest
     | "--json" :: rest ->
         cli.json <- true;
@@ -713,15 +839,17 @@ let () =
   (* the flag overrides the HECTOR_FUSE_OPS hook Knobs registered at init,
      so every compilation below sees fusion off *)
   if cli.no_fuse then Hector_core.Compiler.set_fuse_ops_default (fun () -> false);
-  if (if cli.micro then 1 else 0) + (if cli.serve then 1 else 0) + (if cli.dist then 1 else 0) > 1
-  then cli_error "--micro, --serve and --dist are mutually exclusive";
-  if cli.json && not (cli.micro || cli.serve || cli.dist) then
-    cli_error "--json only makes sense together with --micro, --serve or --dist";
-  if cli.check <> None && not (cli.micro || cli.serve || cli.dist) then
-    cli_error "--check only makes sense together with --micro, --serve or --dist";
+  if (if cli.micro then 1 else 0) + (if cli.serve then 1 else 0) + (if cli.dist then 1 else 0)
+     + (if cli.tune then 1 else 0) > 1
+  then cli_error "--micro, --serve, --dist and --tune are mutually exclusive";
+  if cli.json && not (cli.micro || cli.serve || cli.dist || cli.tune) then
+    cli_error "--json only makes sense together with --micro, --serve, --dist or --tune";
+  if cli.check <> None && not (cli.micro || cli.serve || cli.dist || cli.tune) then
+    cli_error "--check only makes sense together with --micro, --serve, --dist or --tune";
   if cli.micro then run_micro ~json:cli.json ~check:cli.check ~tolerance:cli.tolerance ()
   else if cli.serve then run_serve ~json:cli.json ~check:cli.check ~tolerance:cli.tolerance ()
   else if cli.dist then run_dist ~json:cli.json ~check:cli.check ~tolerance:cli.tolerance ()
+  else if cli.tune then run_tune ~json:cli.json ~check:cli.check ~tolerance:cli.tolerance ()
   else begin
     let t = H.create ~max_nodes:cli.max_nodes ~max_edges:cli.max_edges () in
     let selected =

@@ -257,21 +257,75 @@ let cmd_partition =
     Term.(const run $ dataset_arg $ max_edges_arg $ parts_arg $ slack_arg)
 
 let cmd_autotune =
-  let run model dataset training max_edges no_fuse =
+  let module Autotune = Hector_runtime.Autotune in
+  let module Tuning_db = Hector_runtime.Tuning_db in
+  let db_arg =
+    Arg.(value & opt (some string) None
+         & info [ "db" ] ~docv:"PATH"
+             ~doc:"Tuning-database JSON file the winner is recorded into (serving consults it \
+                   at admission).  Default: the HECTOR_TUNE_DB knob.")
+  in
+  let top_arg =
+    Arg.(value & opt int 8
+         & info [ "top" ] ~docv:"K"
+             ~doc:"Measure the K best candidates by estimated cost (the four fixed U/C/F/C+F \
+                   configurations are always measured too).  Must be >= 1.")
+  in
+  let run model dataset training max_edges db_path top no_fuse =
+    (* validate flags before any expensive work *)
+    if top < 1 then begin
+      Printf.eprintf
+        "hector autotune: --top must be >= 1 (got %d)\nUsage: hector autotune [-m MODEL] \
+         [-d DATASET] [--training] [--db PATH] [--top K]\n"
+        top;
+      exit 2
+    end;
     apply_no_fuse no_fuse;
-    let graph = Ds.load ~max_edges (Ds.find dataset) in
-    let result =
-      Hector_runtime.Autotune.search ~training ~graph (Hector_models.Model_defs.by_name model ())
+    let db_path =
+      match db_path with
+      | Some p -> Some p
+      | None -> (Hector_runtime.Knobs.current ()).Hector_runtime.Knobs.tune_db
     in
-    print_endline "candidates (fastest first):";
+    let graph = Ds.load ~max_edges (Ds.find dataset) in
+    let program = Hector_models.Model_defs.by_name model () in
+    let db = Option.map Tuning_db.load db_path in
+    let result = Autotune.search ~training ~top_k:top ?db ~model_name:model ~graph program in
+    let measured_ms options =
+      List.find_opt
+        (fun (c : Autotune.candidate) ->
+          String.equal (Compiler.options_id c.Autotune.options) (Compiler.options_id options))
+        result.Autotune.all
+      |> Option.map (fun (c : Autotune.candidate) -> c.Autotune.time_ms)
+    in
+    Printf.printf "candidate space: %d configurations, %d measured (top %d + fixed layouts)\n\n"
+      (List.length result.Autotune.ranked)
+      (List.length result.Autotune.all)
+      top;
+    Printf.printf "  %-28s %12s %12s\n" "configuration" "est ms" "measured ms";
     List.iter
-      (fun c -> Printf.printf "  %s\n" (Hector_runtime.Autotune.describe c))
-      result.Hector_runtime.Autotune.all;
-    Printf.printf "\nbest: %s\n" (Hector_runtime.Autotune.describe result.Hector_runtime.Autotune.best)
+      (fun (c : Autotune.candidate) ->
+        Printf.printf "  %-28s %12.4f %12s\n"
+          (Compiler.options_id c.Autotune.options)
+          c.Autotune.estimated_ms
+          (match measured_ms c.Autotune.options with
+          | Some t when t = infinity -> "OOM"
+          | Some t -> Printf.sprintf "%.4f" t
+          | None -> "-"))
+      result.Autotune.ranked;
+    Printf.printf "\nbest: %s\n" (Autotune.describe result.Autotune.best);
+    match (db, db_path) with
+    | Some db, Some path ->
+        Tuning_db.save db path;
+        Printf.printf "recorded winner in %s (%d entries)\n" path (Tuning_db.size db)
+    | _ -> ()
   in
   Cmd.v
-    (Cmd.info "autotune" ~doc:"Search layouts, optimizations and schedules for a model+dataset.")
-    Term.(const run $ model_arg $ dataset_arg $ training_arg $ max_edges_arg $ no_fuse_arg)
+    (Cmd.info "autotune"
+       ~doc:"Two-stage search (estimate all, measure top-k) over layouts, optimizations and \
+             schedules for a model+dataset; optionally persists the winner in a tuning \
+             database.")
+    Term.(const run $ model_arg $ dataset_arg $ training_arg $ max_edges_arg $ db_arg
+          $ top_arg $ no_fuse_arg)
 
 let () =
   let info = Cmd.info "hector" ~version:"1.0" ~doc:"Hector RGNN compiler (GPU-simulated)." in

@@ -41,6 +41,27 @@ let set_fuse_ops_default f = fuse_ops_default := f
 let fuse_ops_enabled options =
   match options.fuse_ops with Some b -> b | None -> !fuse_ops_default ()
 
+(* Compact human-readable identifier covering every field that can change
+   the compiled plan — two option records compile identically iff their ids
+   are equal (modulo the knob an unset [fuse_ops] defers to). *)
+let options_id (o : options) =
+  let layout_tag =
+    match (o.layout.Layout.materialization, o.linear_fusion) with
+    | Layout.Compact, true -> "C+F"
+    | Layout.Compact, false -> "C"
+    | Layout.Vanilla, true -> "F"
+    | Layout.Vanilla, false -> "U"
+  in
+  Printf.sprintf "%s:%s%s:t%dc%d%s:%s%s%s%s" layout_tag
+    (match o.layout.Layout.adjacency with Layout.Coo -> "coo" | Layout.Csr -> "csr")
+    (if o.layout.Layout.nodes_presorted then "" else "+unsorted")
+    o.gemm_schedule.Gemm_spec.tile_width o.gemm_schedule.Gemm_spec.coarsen
+    (if o.gemm_schedule.Gemm_spec.launch_bounds then "+lb" else "")
+    (if o.traversal_schedule.Traversal_spec.warp_accumulate then "warp" else "nowarp")
+    (if o.prefer_node_gather then ":ng" else "")
+    (if o.training then ":train" else "")
+    (match o.fuse_ops with None -> "" | Some true -> ":fuse" | Some false -> ":nofuse")
+
 type compiled = {
   options : options;
   forward : Plan.t;

@@ -41,6 +41,13 @@ val options_of_flags :
     ~fusion:false] = U, [true/false] = C, [false/true] = F, [true/true] =
     C+F.  [fuse_ops] (absent = follow the knob) gates inter-op fusion. *)
 
+val options_id : options -> string
+(** Compact identifier covering every option field that can change the
+    compiled plan, e.g. ["C+F:coo:t32c2+lb:warp:fuse"] — equal ids mean
+    identical compilation (modulo the knob an unset [fuse_ops] defers to).
+    Used by the autotuner to deduplicate candidates and by the tuning
+    database as the stored configuration's display name. *)
+
 val set_fuse_ops_default : (unit -> bool) -> unit
 (** Register the thunk consulted when [options.fuse_ops] is [None].
     {!Hector_runtime.Knobs} installs the [HECTOR_FUSE_OPS] parser here at

@@ -205,3 +205,5 @@ let pp_program fmt p =
   if p.outputs <> [] then
     Format.fprintf fmt "@,# outputs: %s" (String.concat ", " p.outputs);
   Format.fprintf fmt "@]"
+
+let fingerprint p = Digest.to_hex (Digest.string (Format.asprintf "%a" pp_program p))

@@ -148,3 +148,9 @@ val pp_stmt : Format.formatter -> stmt -> unit
 
 val pp_program : Format.formatter -> program -> unit
 (** Full listing including declarations. *)
+
+val fingerprint : program -> string
+(** Content hash (hex MD5 of the {!pp_program} rendering) identifying the
+    model's semantics for the plan-tuning database: two programs share a
+    fingerprint iff they print identically — declarations, statements and
+    outputs included. *)

@@ -150,10 +150,10 @@ let cost_ms (d : Device.t) (k : Kernel.t) =
   let overhead_s = d.Device.launch_overhead_us *. 1e-6 in
   (overhead_s +. Float.max compute_s mem_s) *. 1e3
 
-let scaled_kernel t (k : Kernel.t) =
-  if not k.Kernel.graph_proportional || t.scale = 1.0 then k
+let scale_kernel ~scale (k : Kernel.t) =
+  if (not k.Kernel.graph_proportional) || scale = 1.0 then k
   else
-    let s = t.scale in
+    let s = scale in
     {
       k with
       Kernel.grid_blocks =
@@ -163,6 +163,10 @@ let scaled_kernel t (k : Kernel.t) =
       bytes_gathered = k.Kernel.bytes_gathered *. s;
       bytes_atomic = k.Kernel.bytes_atomic *. s;
     }
+
+let scaled_kernel t (k : Kernel.t) = scale_kernel ~scale:t.scale k
+
+let predict_ms ?(scale = 1.0) device k = cost_ms device (scale_kernel ~scale k)
 
 let record_timed t k' time =
   if t.trace then

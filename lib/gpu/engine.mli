@@ -109,3 +109,11 @@ val cost_ms : Device.t -> Kernel.t -> float
        divided by a bandwidth utilization that also degrades at low occupancy;}
     {- total = launch overhead + max(compute, memory).}}
     Work quantities must already be at logical scale. *)
+
+val predict_ms : ?scale:float -> Device.t -> Kernel.t -> float
+(** [cost_ms] after applying the graph cost [scale] (default 1) exactly as
+    {!launch} would — graph-proportional work quantities and grid size are
+    multiplied (grid rounded to nearest, floored at one block) before
+    pricing.  This is the primitive the plan cost estimator uses to predict
+    what launching [k] on an engine created with the same scale would
+    charge, without an engine. *)

@@ -1,40 +1,94 @@
-(** Automatic configuration selection (the paper's §6 first item, built
-    here as an extension).
+(** Cost-model-guided configuration selection (the paper's §6 first item,
+    built here as an extension).
 
     §4.3 observes that the best combination of compact materialization and
     linear-operator fusion "varies across models and/or datasets", and
-    quantifies the gap: picking per-input beats any fixed choice.  This
-    module searches the configuration space — layout (C), fusion (F), GEMM
-    schedule (tile width, coarsening, launch bounds) and traversal strategy
-    — by compiling each candidate and measuring one steady-state epoch on
-    the simulator, which is exactly the "consult the cost model per input
-    graph and architecture" loop the paper proposes.
+    quantifies the gap: picking per-input beats any fixed choice.  The
+    search runs in two stages:
 
-    The search is exhaustive over a small space (≤ 48 candidates) and
-    deterministic. *)
+    + {e estimate} — every candidate in the space (layout U/C/F/C+F ×
+      GEMM tile {16,32} × coarsening {2,4} × traversal accumulation
+      strategy × node-gather scheduling × inter-op fusion on/off) is
+      compiled once and priced by the analytic {!Plan_cost} estimator —
+      nothing executes;
+    + {e measure} — the estimator's top-k candidates, always joined by the
+      four fixed U/C/F/C+F configurations, run one steady-state epoch each
+      on the simulator; the measured minimum wins.
+
+    Because the estimator shares its launch descriptors and roofline with
+    the engine, the estimate is exact on the simulator and the pruning is
+    lossless; the two-stage shape is what a real-GPU port would need, where
+    measuring is expensive and the model is approximate.
+
+    Winners can be persisted through {!Tuning_db} ([?db] / {!warmup}) so
+    later runs — and the serving admission path — skip the search
+    entirely. *)
 
 type candidate = {
   options : Hector_core.Compiler.options;
-  time_ms : float;  (** steady-state epoch; [infinity] when the candidate OOMs *)
+  estimated_ms : float;  (** analytic {!Plan_cost} prediction *)
+  time_ms : float;
+      (** measured steady-state epoch; [infinity] when the candidate OOMs,
+          [nan] in {!result.ranked} entries that were pruned unmeasured *)
 }
 
 type result = {
   best : candidate;
-  all : candidate list;  (** every evaluated candidate, fastest first *)
+  all : candidate list;  (** every measured candidate, fastest first *)
+  ranked : candidate list;
+      (** the full estimated space, best estimate first ([time_ms = nan]) *)
 }
 
 val search :
   ?device:Hector_gpu.Device.t ->
   ?training:bool ->
   ?schedules:bool ->
+  ?top_k:int ->
+  ?db:Tuning_db.t ->
+  ?model_name:string ->
   graph:Hector_graph.Hetgraph.t ->
   Hector_core.Inter_ir.program ->
   result
 (** Find the fastest configuration of a model on a graph.  [schedules]
-    (default [true]) includes the GEMM schedule knobs in the search;
-    setting it [false] searches only the four U/C/F/C+F configurations.
-    Raises [Invalid_argument] if no candidate completes. *)
+    (default [true]) includes the schedule/fusion knobs in the space;
+    setting it [false] restricts to the four U/C/F/C+F configurations,
+    all measured.  [top_k] (default 8) bounds the measured prefix of the
+    estimator ranking.  [db] records the winner under the model's
+    fingerprint and the graph's signature (the caller persists with
+    {!Tuning_db.save}).  Raises [Invalid_argument] if no candidate
+    compiles and fits in device memory, or when [top_k < 1]. *)
+
+val warmup :
+  ?device:Hector_gpu.Device.t ->
+  ?training:bool ->
+  ?top_k:int ->
+  ?model_name:string ->
+  db_path:string ->
+  graph:Hector_graph.Hetgraph.t ->
+  Hector_core.Inter_ir.program ->
+  Hector_core.Compiler.options
+(** The write-back warmup used by [hector autotune] and training drivers:
+    load the database at [db_path] (empty if absent), return the exact-hit
+    options if one exists, otherwise run {!search}, persist the updated
+    database and return the winner. *)
 
 val describe : candidate -> string
 (** Human-readable one-liner, e.g.
-    ["C+F, tile 32, coarsen 2: 12.34 ms"]. *)
+    ["C+F, tile 32, coarsen 2: est 0.123 ms, measured 0.125 ms"]. *)
+
+(** {1 Search-effort counters}
+
+    Process-wide instrumentation of how much work searches perform.  The
+    serving tests pin the warm tuning-DB admission path to zero searches
+    and zero candidate compiles using these. *)
+
+val reset_counters : unit -> unit
+
+val search_count : unit -> int
+(** {!search} invocations since the last reset. *)
+
+val candidate_compiles : unit -> int
+(** Candidate compilations performed by searches since the last reset. *)
+
+val measured_runs : unit -> int
+(** Candidate epochs executed by searches since the last reset. *)

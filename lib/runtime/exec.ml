@@ -301,7 +301,12 @@ type traffic = {
   mutable atomic : float;
 }
 
-let expr_dim t program locals_dims expr =
+(* The analytic cost functions below are parameterized over the bare
+   environment (and, further down, the graph context) rather than the
+   executor: {!Plan_cost} reuses them verbatim to price a compiled plan
+   without running it, so the estimate and the execution charge are the
+   same formula by construction. *)
+let expr_dim env program locals_dims expr =
   let rec dim e =
     match e with
     | Ir.Const _ -> 1
@@ -309,7 +314,7 @@ let expr_dim t program locals_dims expr =
         match List.assoc_opt n locals_dims with
         | Some d -> d
         | None -> (
-            match Env.find_opt t.env n with
+            match Env.find_opt env n with
             | Some entry -> entry.Env.dim
             | None -> (
                 match Ir.find_decl program n with
@@ -346,8 +351,8 @@ let expr_dim t program locals_dims expr =
    savings). *)
 let compact_access_penalty = 1.5
 
-let add_expr_traffic t program locals traffic strategy expr =
-  let dim = expr_dim t program locals in
+let add_expr_traffic env program locals traffic strategy expr =
+  let dim = expr_dim env program locals in
   let rec walk e =
     (match e with
     | Ir.Const _ -> ()
@@ -357,7 +362,7 @@ let add_expr_traffic t program locals traffic strategy expr =
           let bytes = float_of_int (d * 4) in
           match ent with
           | Ir.Cur_edge -> (
-              match Env.find_opt t.env n with
+              match Env.find_opt env n with
               | Some { Env.space = Mat.Rows_compact_src | Mat.Rows_compact_dst; _ } ->
                   traffic.gathered <-
                     traffic.gathered +. (bytes *. compact_access_penalty) +. 4.0
@@ -386,7 +391,7 @@ let add_expr_traffic t program locals traffic strategy expr =
 
 (* Per-iteration traffic of ONE statement (adjacency reads are charged by
    the caller, once per edge). *)
-let stmt_traffic t program (spec : Ts.t) st =
+let stmt_traffic env program (spec : Ts.t) st =
   let locals_dims =
     List.map
       (fun n ->
@@ -395,7 +400,7 @@ let stmt_traffic t program (spec : Ts.t) st =
           (fun st ->
             match st with
             | Ir.Assign (Ir.Cur_edge, v, e) when String.equal v n ->
-                d := expr_dim t program [] e
+                d := expr_dim env program [] e
             | _ -> ())
           spec.Ts.body;
         (n, !d))
@@ -406,7 +411,7 @@ let stmt_traffic t program (spec : Ts.t) st =
   let warp = spec.Ts.schedule.Ts.warp_accumulate in
   let add_write ent n accumulate =
     let d =
-      match Env.find_opt t.env n with
+      match Env.find_opt env n with
       | Some entry -> entry.Env.dim
       | None -> ( match List.assoc_opt n locals_dims with Some d -> max d 1 | None -> 1)
     in
@@ -415,7 +420,7 @@ let stmt_traffic t program (spec : Ts.t) st =
     else
       match ent with
       | Ir.Cur_edge -> (
-          match Env.find_opt t.env n with
+          match Env.find_opt env n with
           | Some { Env.space = Mat.Rows_compact_src | Mat.Rows_compact_dst; _ } ->
               traffic.gathered <-
                 traffic.gathered +. (bytes *. compact_access_penalty) +. 4.0
@@ -428,15 +433,15 @@ let stmt_traffic t program (spec : Ts.t) st =
   in
   (match st with
   | Ir.Assign (ent, n, e) ->
-      add_expr_traffic t program locals_dims traffic strategy e;
+      add_expr_traffic env program locals_dims traffic strategy e;
       add_write ent n false
   | Ir.Accumulate (ent, n, e) ->
-      add_expr_traffic t program locals_dims traffic strategy e;
+      add_expr_traffic env program locals_dims traffic strategy e;
       add_write ent n true
   | Ir.Grad_weight { x; dy; _ } ->
-      add_expr_traffic t program locals_dims traffic strategy x;
-      add_expr_traffic t program locals_dims traffic strategy dy;
-      let d = expr_dim t program locals_dims x * expr_dim t program locals_dims dy in
+      add_expr_traffic env program locals_dims traffic strategy x;
+      add_expr_traffic env program locals_dims traffic strategy dy;
+      let d = expr_dim env program locals_dims x * expr_dim env program locals_dims dy in
       traffic.atomic <- traffic.atomic +. (float_of_int (d * 4) /. if warp then 8.0 else 1.0)
   | Ir.For_each _ -> ());
   traffic
@@ -495,7 +500,7 @@ type sides = {
   mutable grad_other : bool;  (** upstream gradient read that is NOT pair-aggregated *)
 }
 
-let read_sides t ~locals_list sides expr =
+let read_sides env ~locals_list sides expr =
   Ir.iter_expr
     (fun e ->
       match e with
@@ -521,7 +526,7 @@ let read_sides t ~locals_list sides expr =
                 if is_grad then sides.grad_other <- true
               end
               else
-                match Env.find_opt t.env n with
+                match Env.find_opt env n with
                 | Some { Env.space = Mat.Rows_compact_src; _ } ->
                     sides.dst_ok <- false;
                     sides.anchored <- true;
@@ -542,7 +547,7 @@ let read_sides t ~locals_list sides expr =
       | _ -> ())
     expr
 
-let classify_stmt t (spec : Ts.t) st =
+let classify_stmt env (spec : Ts.t) st =
   if spec.Ts.strategy <> Ts.Edge_parallel then Per_edge
   else
     let sides =
@@ -565,22 +570,22 @@ let classify_stmt t (spec : Ts.t) st =
     let target_side =
       match st with
       | Ir.Assign (Ir.Cur_edge, n, e) | Ir.Accumulate (Ir.Cur_edge, n, e) ->
-          read_sides t ~locals_list sides e;
+          read_sides env ~locals_list sides e;
           if List.mem n locals_list then `None
           else (
-            match Env.find_opt t.env n with
+            match Env.find_opt env n with
             | Some { Env.space = Mat.Rows_compact_src; _ } -> `Src
             | Some { Env.space = Mat.Rows_compact_dst; _ } -> `Dst
             | _ -> `None)
       | Ir.Assign (Ir.Src, _, e) | Ir.Accumulate (Ir.Src, _, e) ->
-          read_sides t ~locals_list sides e;
+          read_sides env ~locals_list sides e;
           `Src
       | Ir.Assign (Ir.Dst, _, e) | Ir.Accumulate (Ir.Dst, _, e) ->
-          read_sides t ~locals_list sides e;
+          read_sides env ~locals_list sides e;
           `Dst
       | Ir.Grad_weight { x; dy; _ } ->
-          read_sides t ~locals_list sides x;
-          read_sides t ~locals_list sides dy;
+          read_sides env ~locals_list sides x;
+          read_sides env ~locals_list sides dy;
           `Weight
       | Ir.Assign _ | Ir.Accumulate _ | Ir.For_each _ ->
           sides.src_ok <- false;
@@ -612,9 +617,9 @@ let classify_stmt t (spec : Ts.t) st =
    after the whole edge sweep.  (The node-gradient analogue is handled by
    the backward generator's segment splitting; this one is layout-induced
    and so can only be seen here.) *)
-let split_passes t (classes : (Ir.stmt * stmt_iteration) list) =
+let split_passes env (classes : (Ir.stmt * stmt_iteration) list) =
   let is_compact n =
-    match Env.find_opt t.env n with
+    match Env.find_opt env n with
     | Some { Env.space = Mat.Rows_compact_src | Mat.Rows_compact_dst; _ } -> true
     | _ -> false
   in
@@ -647,7 +652,7 @@ let split_passes t (classes : (Ir.stmt * stmt_iteration) list) =
     List.filter_map
       (fun ((st, _) as item) ->
         match st with
-        | Ir.Assign (Ir.Cur_edge, n, _) when Env.find_opt t.env n = None -> Some (n, item)
+        | Ir.Assign (Ir.Cur_edge, n, _) when Env.find_opt env n = None -> Some (n, item)
         | _ -> None)
       classes
   in
@@ -721,9 +726,9 @@ let node_grain = 32
 (* Conservative safety analysis: may this pass be partitioned by
    destination segments (or node ranges, for [Node_map]) without two
    domains racing on a row?  Unsafe passes keep the sequential loop. *)
-let pass_parallelizable t (spec_locals : string list) strategy pass =
-  let is_local n = List.mem n spec_locals || Env.find_opt t.env n = None in
-  let space_of n = Option.map (fun (e : Env.entry) -> e.Env.space) (Env.find_opt t.env n) in
+let pass_parallelizable env (spec_locals : string list) strategy pass =
+  let is_local n = List.mem n spec_locals || Env.find_opt env n = None in
+  let space_of n = Option.map (fun (e : Env.entry) -> e.Env.space) (Env.find_opt env n) in
   (* (name, entity) of every buffer read *)
   let reads =
     List.concat_map
@@ -850,10 +855,59 @@ let sequential_sweep t strategy run_iter =
         run_iter ~grads { edge = -1; node = v }
       done
 
+(* The single launch charged for a whole traversal spec (passes share it):
+   per-edge statements iterate over edges (or nodes for Node_map),
+   pair-local statements only over their pair count. *)
+let traversal_kernel ~env ~ctx ~program ~layout (spec : Ts.t) =
+  let g = ctx.Graph_ctx.graph in
+  let classes = List.map (fun st -> (st, classify_stmt env spec st)) spec.Ts.body in
+  let iters =
+    match spec.Ts.strategy with
+    | Ts.Edge_parallel | Ts.Node_gather -> g.G.num_edges
+    | Ts.Node_map -> g.G.num_nodes
+  in
+  (* adjacency id-retrieval closures (§3.3.5): COO is three coalesced
+     subscripts; CSR gets the destination from a binary ownership search in
+     the row-pointer array *)
+  let adjacency_coalesced, adjacency_gathered =
+    match layout.Hector_core.Layout.adjacency with
+    | Hector_core.Layout.Coo -> (12.0, 0.0)
+    | Hector_core.Layout.Csr ->
+        let log_n = Float.max 1.0 (Float.log2 (float_of_int (max 2 g.G.num_nodes))) in
+        (8.0, 4.0 *. log_n)
+  in
+  let iters_of = function
+    | Per_edge -> iters
+    | Per_pair_src -> ctx.Graph_ctx.compact_src.Cm.num_pairs
+    | Per_pair_dst -> ctx.Graph_ctx.compact_dst.Cm.num_pairs
+  in
+  let total = { flops = 0.0; coalesced = 0.0; gathered = 0.0; atomic = 0.0 } in
+  (* adjacency reads once per edge *)
+  if spec.Ts.strategy <> Ts.Node_map then begin
+    total.coalesced <- total.coalesced +. (adjacency_coalesced *. float_of_int iters);
+    total.gathered <- total.gathered +. (adjacency_gathered *. float_of_int iters)
+  end;
+  List.iter
+    (fun (st, cls) ->
+      let one = stmt_traffic env program spec st in
+      let n = float_of_int (iters_of cls) in
+      total.flops <- total.flops +. (one.flops *. n);
+      total.coalesced <- total.coalesced +. (one.coalesced *. n);
+      total.gathered <- total.gathered +. (one.gathered *. n);
+      total.atomic <- total.atomic +. (one.atomic *. n))
+    classes;
+  let blocks =
+    match spec.Ts.strategy with
+    | Ts.Node_gather -> max 1 g.G.num_nodes
+    | _ -> max 1 ((iters + 255) / 256)
+  in
+  Kernel.make ~name:(Ts.name spec) ~category:Kernel.Traversal ~grid_blocks:blocks
+    ~threads_per_block:256 ~flops:total.flops ~bytes_coalesced:total.coalesced
+    ~bytes_gathered:total.gathered ~bytes_atomic:total.atomic ()
+
 let run_traversal t ~program ~layout (spec : Ts.t) =
-  let g = t.ctx.Graph_ctx.graph in
-  let classes = List.map (fun st -> (st, classify_stmt t spec st)) spec.Ts.body in
-  let passes = split_passes t classes in
+  let classes = List.map (fun st -> (st, classify_stmt t.env spec st)) spec.Ts.body in
+  let passes = split_passes t.env classes in
   let run_iter pass ~grads iter =
     let locals = Hashtbl.create 4 in
     List.iter (fun n -> Hashtbl.replace locals n (Scalar 0.0)) spec.Ts.locals;
@@ -872,56 +926,11 @@ let run_traversal t ~program ~layout (spec : Ts.t) =
     (fun pass ->
       if
         (not (Dp.sequential ()))
-        && pass_parallelizable t spec.Ts.locals spec.Ts.strategy pass
+        && pass_parallelizable t.env spec.Ts.locals spec.Ts.strategy pass
       then parallel_sweep t spec.Ts.strategy (run_iter pass)
       else sequential_sweep t spec.Ts.strategy (run_iter pass))
     passes;
-  (* cost: per-edge statements iterate over edges (or nodes for Node_map),
-     pair-local statements only over their pair count *)
-  let iters =
-    match spec.Ts.strategy with
-    | Ts.Edge_parallel | Ts.Node_gather -> g.G.num_edges
-    | Ts.Node_map -> g.G.num_nodes
-  in
-  (* adjacency id-retrieval closures (§3.3.5): COO is three coalesced
-     subscripts; CSR gets the destination from a binary ownership search in
-     the row-pointer array *)
-  let adjacency_coalesced, adjacency_gathered =
-    match layout.Hector_core.Layout.adjacency with
-    | Hector_core.Layout.Coo -> (12.0, 0.0)
-    | Hector_core.Layout.Csr ->
-        let log_n = Float.max 1.0 (Float.log2 (float_of_int (max 2 g.G.num_nodes))) in
-        (8.0, 4.0 *. log_n)
-  in
-  let iters_of = function
-    | Per_edge -> iters
-    | Per_pair_src -> t.ctx.Graph_ctx.compact_src.Cm.num_pairs
-    | Per_pair_dst -> t.ctx.Graph_ctx.compact_dst.Cm.num_pairs
-  in
-  let total = { flops = 0.0; coalesced = 0.0; gathered = 0.0; atomic = 0.0 } in
-  (* adjacency reads once per edge *)
-  if spec.Ts.strategy <> Ts.Node_map then begin
-    total.coalesced <- total.coalesced +. (adjacency_coalesced *. float_of_int iters);
-    total.gathered <- total.gathered +. (adjacency_gathered *. float_of_int iters)
-  end;
-  List.iter
-    (fun (st, cls) ->
-      let one = stmt_traffic t program spec st in
-      let n = float_of_int (iters_of cls) in
-      total.flops <- total.flops +. (one.flops *. n);
-      total.coalesced <- total.coalesced +. (one.coalesced *. n);
-      total.gathered <- total.gathered +. (one.gathered *. n);
-      total.atomic <- total.atomic +. (one.atomic *. n))
-    classes;
-  let blocks =
-    match spec.Ts.strategy with
-    | Ts.Node_gather -> max 1 g.G.num_nodes
-    | _ -> max 1 ((iters + 255) / 256)
-  in
-  launch_attr t
-    (Kernel.make ~name:(Ts.name spec) ~category:Kernel.Traversal ~grid_blocks:blocks
-       ~threads_per_block:256 ~flops:total.flops ~bytes_coalesced:total.coalesced
-       ~bytes_gathered:total.gathered ~bytes_atomic:total.atomic ())
+  launch_attr t (traversal_kernel ~env:t.env ~ctx:t.ctx ~program ~layout spec)
 
 (* ------------------------------------------------------------------ *)
 (* fallback execution                                                  *)
@@ -932,18 +941,10 @@ let count_expr_nodes e =
   Ir.iter_expr (fun _ -> incr n) e;
   !n
 
-let run_fallback t ~program (f : Plan.fallback) =
-  let g = t.ctx.Graph_ctx.graph in
-  (* compute values exactly like a traversal... *)
-  let run_iter ~grads iter =
-    let locals = Hashtbl.create 1 in
-    List.iter (exec_stmt t iter locals ~program ~grads) f.Plan.body
-  in
-  let classes = List.map (fun st -> (st, Per_edge)) f.Plan.body in
-  if (not (Dp.sequential ())) && pass_parallelizable t [] f.Plan.strategy classes then
-    parallel_sweep t f.Plan.strategy run_iter
-  else sequential_sweep t f.Plan.strategy run_iter;
-  (* ...but charge one kernel + full materialization per operator node *)
+(* One kernel + full materialization per operator node of the fallback
+   body (§3.1.1: each framework op is its own launch). *)
+let fallback_kernels ~ctx (f : Plan.fallback) =
+  let g = ctx.Graph_ctx.graph in
   let iters =
     match f.Plan.strategy with
     | Ts.Edge_parallel | Ts.Node_gather -> g.G.num_edges
@@ -953,18 +954,28 @@ let run_fallback t ~program (f : Plan.fallback) =
       (List.concat_map Ir.stmt_exprs f.Plan.body)
   in
   let avg_dim = 16.0 (* intermediate rows materialized between op kernels *) in
-  for i = 0 to max 0 (ops - 1) do
-    launch_attr t
-      (Kernel.make
-         ~name:(Printf.sprintf "fallback_%d_op%d" f.Plan.kid i)
-         ~category:Kernel.Fallback
-         ~grid_blocks:(max 1 ((iters + 255) / 256))
-         ~threads_per_block:256
-         ~flops:(float_of_int iters *. avg_dim)
-         ~bytes_coalesced:(float_of_int iters *. avg_dim *. 4.0 *. 2.0)
-         ~bytes_gathered:(float_of_int iters *. 8.0)
-         ())
-  done
+  List.init (max 1 ops) (fun i ->
+      Kernel.make
+        ~name:(Printf.sprintf "fallback_%d_op%d" f.Plan.kid i)
+        ~category:Kernel.Fallback
+        ~grid_blocks:(max 1 ((iters + 255) / 256))
+        ~threads_per_block:256
+        ~flops:(float_of_int iters *. avg_dim)
+        ~bytes_coalesced:(float_of_int iters *. avg_dim *. 4.0 *. 2.0)
+        ~bytes_gathered:(float_of_int iters *. 8.0)
+        ())
+
+let run_fallback t ~program (f : Plan.fallback) =
+  (* compute values exactly like a traversal... *)
+  let run_iter ~grads iter =
+    let locals = Hashtbl.create 1 in
+    List.iter (exec_stmt t iter locals ~program ~grads) f.Plan.body
+  in
+  let classes = List.map (fun st -> (st, Per_edge)) f.Plan.body in
+  if (not (Dp.sequential ())) && pass_parallelizable t.env [] f.Plan.strategy classes then
+    parallel_sweep t f.Plan.strategy run_iter
+  else sequential_sweep t f.Plan.strategy run_iter;
+  List.iter (launch_attr t) (fallback_kernels ~ctx:t.ctx f)
 
 (* ------------------------------------------------------------------ *)
 (* GEMM execution                                                      *)
@@ -1009,11 +1020,53 @@ let etype_ranges t space =
 
 let operand_entry t op = Env.find t.env (Gs.operand_name op)
 
+(* The launch descriptor of a GEMM spec — the task decides the gather /
+   scatter / atomic flags and where the [rows × k × n] shape comes from
+   (weight-stack dims for forward and dinput tasks, operand dims for
+   dweight tasks).  Shared by {!run_gemm} and the plan cost estimator. *)
+let gemm_kernel ~env ~ctx (spec : Gs.t) =
+  let g = ctx.Graph_ctx.graph in
+  let schedule = spec.Gs.schedule in
+  let weight_kn wstack transpose =
+    let k = Tensor.dim wstack 1 and n = Tensor.dim wstack 2 in
+    if transpose then (n, k) else (k, n)
+  in
+  match spec.Gs.task with
+  | Gs.Node_linear { weight; transpose; accumulate; _ } ->
+      let k, n = weight_kn (Env.weight env weight) transpose in
+      gemm_cost ~name:(Gs.name spec) ~rows:g.G.num_nodes ~k ~n ~schedule ~gathered_in:false
+        ~scatter_out:false ~atomic_out:false ~accumulate
+  | Gs.Edge_linear { weight; out_space; transpose; _ } ->
+      let k, n = weight_kn (Env.weight env weight) transpose in
+      let rows = Graph_ctx.rows_of_space ctx out_space in
+      gemm_cost ~name:(Gs.name spec) ~rows ~k ~n ~schedule ~gathered_in:true ~scatter_out:false
+        ~atomic_out:false ~accumulate:false
+  | Gs.Edge_linear_dinput { weight; grad_out_space; transpose; _ } ->
+      let k, n = weight_kn (Env.weight env weight) transpose in
+      let rows = Graph_ctx.rows_of_space ctx grad_out_space in
+      let kern =
+        gemm_cost ~name:(Gs.name spec) ~rows ~k ~n ~schedule ~gathered_in:false ~scatter_out:true
+          ~atomic_out:true ~accumulate:true
+      in
+      (* the template pre-aggregates tile rows in shared memory before the
+         atomic update, cutting atomic traffic *)
+      { kern with Kernel.bytes_atomic = kern.Kernel.bytes_atomic /. 4.0 }
+  | Gs.Edge_linear_dweight { input; grad_output; grad_out_space; _ } ->
+      let x = Env.find env (Gs.operand_name input) in
+      let dy = Env.find env grad_output in
+      let rows = Graph_ctx.rows_of_space ctx grad_out_space in
+      gemm_cost ~name:(Gs.name spec) ~rows ~k:x.Env.dim ~n:dy.Env.dim ~schedule ~gathered_in:true
+        ~scatter_out:false ~atomic_out:false ~accumulate:true
+  | Gs.Node_linear_dweight { input; grad_output; _ } ->
+      let x = Env.find env (Gs.operand_name input) in
+      let dy = Env.find env grad_output in
+      gemm_cost ~name:(Gs.name spec) ~rows:g.G.num_nodes ~k:x.Env.dim ~n:dy.Env.dim ~schedule
+        ~gathered_in:false ~scatter_out:false ~atomic_out:false ~accumulate:true
+
 let run_gemm t (spec : Gs.t) =
   let g = t.ctx.Graph_ctx.graph in
-  let schedule = spec.Gs.schedule in
-  match spec.Gs.task with
-  | Gs.Node_linear { input; weight; slice; output; transpose; accumulate } ->
+  (match spec.Gs.task with
+  | Gs.Node_linear { input; weight; slice; output; transpose; accumulate = acc } ->
       let x = (operand_entry t input).Env.tensor in
       let wstack = Env.weight t.env weight in
       let out = (Env.find t.env output).Env.tensor in
@@ -1029,19 +1082,13 @@ let run_gemm t (spec : Gs.t) =
             let xs = Tensor.sub_rows x start count in
             let os = Tensor.sub_rows out start count in
             Tensor.matmul_into ~trans_b:transpose
-              ~beta:(if accumulate then 1.0 else 0.0)
+              ~beta:(if acc then 1.0 else 0.0)
               xs (Tensor.slice0 wstack sl) os)
-        segments;
-      let k = Tensor.dim wstack 1 and n = Tensor.dim wstack 2 in
-      let k, n = if transpose then (n, k) else (k, n) in
-      launch_attr t
-        (gemm_cost ~name:(Gs.name spec) ~rows:g.G.num_nodes ~k ~n ~schedule ~gathered_in:false
-           ~scatter_out:false ~atomic_out:false ~accumulate)
+        segments
   | Gs.Edge_linear { side; input; weight; output; out_space; transpose; per_row_scalar } ->
       let x = operand_entry t input in
       let wstack = Env.weight t.env weight in
       let out = Env.find t.env output in
-      let rows = Graph_ctx.rows_of_space t.ctx out_space in
       List.iter
         (fun (r, ((start, count) as range)) ->
           if count > 0 then begin
@@ -1062,17 +1109,11 @@ let run_gemm t (spec : Gs.t) =
                   done
                 done
           end)
-        (etype_ranges t out_space);
-      let k = Tensor.dim wstack 1 and n = Tensor.dim wstack 2 in
-      let k, n = if transpose then (n, k) else (k, n) in
-      launch_attr t
-        (gemm_cost ~name:(Gs.name spec) ~rows ~k ~n ~schedule ~gathered_in:true
-           ~scatter_out:false ~atomic_out:false ~accumulate:false)
+        (etype_ranges t out_space)
   | Gs.Edge_linear_dinput { side; weight; grad_output; grad_out_space; grad_input; transpose } ->
       let dy = Env.find t.env grad_output in
       let wstack = Env.weight t.env weight in
       let dx = Env.find t.env grad_input in
-      let rows = Graph_ctx.rows_of_space t.ctx grad_out_space in
       List.iter
         (fun (r, ((start, count) as range)) ->
           if count > 0 then begin
@@ -1084,22 +1125,11 @@ let run_gemm t (spec : Gs.t) =
             Tensor.matmul_scatter_add_into ~trans_b:transpose dys (Tensor.slice0 wstack r)
               ~idx:ids dx.Env.tensor
           end)
-        (etype_ranges t grad_out_space);
-      let k = Tensor.dim wstack 1 and n = Tensor.dim wstack 2 in
-      let k, n = if transpose then (n, k) else (k, n) in
-      launch_attr t
-        (let kern =
-           gemm_cost ~name:(Gs.name spec) ~rows ~k ~n ~schedule ~gathered_in:false
-             ~scatter_out:true ~atomic_out:true ~accumulate:true
-         in
-         (* the template pre-aggregates tile rows in shared memory before
-            the atomic update, cutting atomic traffic *)
-         { kern with Hector_gpu.Kernel.bytes_atomic = kern.Hector_gpu.Kernel.bytes_atomic /. 4.0 })
+        (etype_ranges t grad_out_space)
   | Gs.Edge_linear_dweight { side; input; grad_output; grad_out_space; grad_weight } ->
       let x = operand_entry t input in
       let dy = Env.find t.env grad_output in
       let dw = Env.weight_grad t.env grad_weight in
-      let rows = Graph_ctx.rows_of_space t.ctx grad_out_space in
       List.iter
         (fun (r, ((start, count) as range)) ->
           if count > 0 then begin
@@ -1109,11 +1139,7 @@ let run_gemm t (spec : Gs.t) =
             Tensor.matmul_gather_t_into ~beta:1.0 x.Env.tensor ~idx:ids dys
               (Tensor.slice0 dw r)
           end)
-        (etype_ranges t grad_out_space);
-      let k = x.Env.dim and n = dy.Env.dim in
-      launch_attr t
-        (gemm_cost ~name:(Gs.name spec) ~rows ~k ~n ~schedule ~gathered_in:true
-           ~scatter_out:false ~atomic_out:false ~accumulate:true)
+        (etype_ranges t grad_out_space)
   | Gs.Node_linear_dweight { input; slice; grad_output; grad_weight } ->
       let x = operand_entry t input in
       let dy = Env.find t.env grad_output in
@@ -1129,14 +1155,34 @@ let run_gemm t (spec : Gs.t) =
             let xs = Tensor.sub_rows x.Env.tensor start count in
             let dys = Tensor.sub_rows dy.Env.tensor start count in
             Tensor.matmul_into ~trans_a:true ~beta:1.0 xs dys (Tensor.slice0 dw sl))
-        segments;
-      launch_attr t
-        (gemm_cost ~name:(Gs.name spec) ~rows:g.G.num_nodes ~k:x.Env.dim ~n:dy.Env.dim ~schedule
-           ~gathered_in:false ~scatter_out:false ~atomic_out:false ~accumulate:true)
+        segments);
+  launch_attr t (gemm_kernel ~env:t.env ~ctx:t.ctx spec)
 
 (* ------------------------------------------------------------------ *)
 (* linear-fusion weight prologues                                      *)
 (* ------------------------------------------------------------------ *)
+
+(* Weight-prologue launch descriptor.  [Mat_mat] flops are expressed from
+   the factor shapes ([slices × (dim l 1) × (dim r 2)] output, inner dim
+   [dim r 1]) so the product stack need not be bound yet — the estimator
+   prices plans it never runs. *)
+let weight_op_kernel ~env op =
+  let name =
+    match op with Lf.Mat_vec { out; _ } | Lf.Mat_mat { out; _ } -> "weight_op_" ^ out
+  in
+  let flops =
+    match op with
+    | Lf.Mat_vec { mat; _ } ->
+        let w = Env.weight env mat in
+        2.0 *. float_of_int (Tensor.numel w)
+    | Lf.Mat_mat { left; right; _ } ->
+        let l = Env.weight env left and r = Env.weight env right in
+        2.0
+        *. float_of_int (Tensor.dim r 0 * Tensor.dim l 1 * Tensor.dim r 2)
+        *. float_of_int (Tensor.dim r 1)
+  in
+  Kernel.make ~name ~category:Kernel.Gemm ~grid_blocks:64 ~flops
+    ~bytes_coalesced:(flops /. 2.0) ~graph_proportional:false ()
 
 let run_weight_op t op =
   let mg = t.ctx.Graph_ctx.graph.G.metagraph in
@@ -1186,35 +1232,22 @@ let run_weight_op t op =
         Tensor.matmul_into (Tensor.slice0 l nt) (Tensor.slice0 r s) (Tensor.slice0 result s)
       done;
       Env.add_weight t.env ~name:out result);
-  let name =
-    match op with Lf.Mat_vec { out; _ } | Lf.Mat_mat { out; _ } -> "weight_op_" ^ out
-  in
-  let flops =
-    match op with
-    | Lf.Mat_vec { mat; _ } ->
-        let w = Env.weight t.env mat in
-        2.0 *. float_of_int (Tensor.numel w)
-    | Lf.Mat_mat { right; out; _ } ->
-        let r = Env.weight t.env right and o = Env.weight t.env out in
-        2.0 *. float_of_int (Tensor.numel o) *. float_of_int (Tensor.dim r 1)
-  in
-  launch_attr t
-    (Kernel.make ~name ~category:Kernel.Gemm ~grid_blocks:64 ~flops
-       ~bytes_coalesced:(flops /. 2.0) ~graph_proportional:false ())
+  launch_attr t (weight_op_kernel ~env:t.env op)
 
 (* ------------------------------------------------------------------ *)
 (* buffers + plan driver                                               *)
 (* ------------------------------------------------------------------ *)
 
-let launch_memset t name rows dim =
-  Engine.launch t.engine
-    (Kernel.make
-       ~name:("memset_" ^ name)
-       ~category:Kernel.Copy
-       ~grid_blocks:(max 1 (rows * dim / 256 / 256))
-       ~bytes_coalesced:(float_of_int (rows * dim * 4))
-       ~provenance:(Kernel.provenance ~origin:"runtime.memset" name)
-       ())
+let memset_kernel ~name ~rows ~dim =
+  Kernel.make
+    ~name:("memset_" ^ name)
+    ~category:Kernel.Copy
+    ~grid_blocks:(max 1 (rows * dim / 256 / 256))
+    ~bytes_coalesced:(float_of_int (rows * dim * 4))
+    ~provenance:(Kernel.provenance ~origin:"runtime.memset" name)
+    ()
+
+let launch_memset t name rows dim = Engine.launch t.engine (memset_kernel ~name ~rows ~dim)
 
 (* [inlined] lists the zero-init buffers whose whole live range sits inside
    one fused step (Plan.inline_zeroed): their accumulator is initialized
@@ -1252,7 +1285,7 @@ let free_temp_buffers t (plan : Plan.t) =
    launched once.  Members were executed (and their launches captured)
    already, so numerics are exactly the unfused plan's — the merge only
    changes the launch accounting. *)
-let merge_captured name ks =
+let merge_kernels name ks =
   let sum f = List.fold_left (fun a k -> a +. f k) 0.0 ks in
   let maxi f = List.fold_left (fun a k -> max a (f k)) 1 ks in
   let category =
@@ -1269,6 +1302,24 @@ let merge_captured name ks =
     ~graph_proportional:(List.for_all (fun k -> k.Kernel.graph_proportional) ks)
     ()
 
+(* The launch sequence a step charges per steady-state run, built without
+   executing anything: exactly the kernels [exec_step] hands to the engine
+   (a fused step's members merged into one, as [exec_step] does after
+   capture).  Requires every buffer the plan reads or writes bound in
+   [env] (dims and spaces only — tensors are never touched) and weight
+   stacks for every weight the specs reference. *)
+let rec step_kernels ~env ~ctx ~(plan : Plan.t) step =
+  match step with
+  | Plan.Weight_op op -> [ weight_op_kernel ~env op ]
+  | Plan.Gemm spec -> [ gemm_kernel ~env ~ctx spec ]
+  | Plan.Traversal spec ->
+      [ traversal_kernel ~env ~ctx ~program:plan.Plan.program ~layout:plan.Plan.layout spec ]
+  | Plan.Fallback f -> fallback_kernels ~ctx f
+  | Plan.Fused f -> (
+      match List.concat_map (step_kernels ~env ~ctx ~plan) f.Plan.members with
+      | [] -> []
+      | ks -> [ merge_kernels (Plan.step_name step) ks ])
+
 let rec exec_step t (plan : Plan.t) step =
   match step with
   | Plan.Weight_op op -> run_weight_op t op
@@ -1284,7 +1335,7 @@ let rec exec_step t (plan : Plan.t) step =
         (fun () -> List.iter (exec_step t plan) f.Plan.members);
       (match List.rev !captured with
       | [] -> ()
-      | ks -> launch_attr t (merge_captured (Plan.step_name step) ks))
+      | ks -> launch_attr t (merge_kernels (Plan.step_name step) ks))
 
 let run_step ?(step_idx = -1) t (plan : Plan.t) step =
   t.cur_prov <-

@@ -98,3 +98,29 @@ val free_temp_buffers : t -> Hector_core.Plan.t -> unit
 
 val value_dim : value -> int
 (** 1 for scalars, the array length for vectors. *)
+
+(** {1 Launch-descriptor builders}
+
+    The analytic cost side of execution, exposed so {!Plan_cost} can price
+    a compiled plan {e without running it}.  Each builder returns exactly
+    the {!Hector_gpu.Kernel.t} the corresponding [run_plan] step hands to
+    the engine; only the [dim] and [space] fields of environment entries
+    (and weight-stack shapes) are consulted — tensor contents never are, so
+    a dummy environment carrying the right shapes prices identically to a
+    live one. *)
+
+val step_kernels :
+  env:Env.t -> ctx:Graph_ctx.t -> plan:Hector_core.Plan.t -> Hector_core.Plan.step -> Hector_gpu.Kernel.t list
+(** The launch sequence one step charges per steady-state run: one kernel
+    per weight-op / GEMM / traversal step, one per expression node for
+    fallbacks, and one merged kernel for a fused group (members summed, as
+    {!run_plan} merges captured launches).  [env] must bind every buffer
+    and weight stack the step references, with correct dims/spaces. *)
+
+val memset_kernel : name:string -> rows:int -> dim:int -> Hector_gpu.Kernel.t
+(** The zero-fill launch charged for a [zero_init] plan buffer on every
+    run (buffers in {!Hector_core.Plan.inline_zeroed} skip it). *)
+
+val merge_kernels : string -> Hector_gpu.Kernel.t list -> Hector_gpu.Kernel.t
+(** One kernel standing for a fused group: work summed, grid/block maxed,
+    launched once ([Gemm] category if any member is). *)

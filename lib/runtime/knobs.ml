@@ -10,6 +10,7 @@ type t = {
   dist_parts : int option;
   dist_latency_us : float option;
   dist_bandwidth_gbs : float option;
+  tune_db : string option;
 }
 
 let defaults =
@@ -23,6 +24,7 @@ let defaults =
     dist_parts = None;
     dist_latency_us = None;
     dist_bandwidth_gbs = None;
+    tune_db = None;
   }
 
 let truthy s =
@@ -68,6 +70,11 @@ let parse getenv =
         | _ -> None)
   in
   let dist_parts = positive "HECTOR_DIST_PARTS" in
+  let tune_db =
+    match getenv "HECTOR_TUNE_DB" with
+    | None -> None
+    | Some s -> ( match String.trim s with "" -> None | p -> Some p)
+  in
   let dist_latency_us = positive_float "HECTOR_DIST_LATENCY_US" in
   let dist_bandwidth_gbs = positive_float "HECTOR_DIST_BW_GBS" in
   {
@@ -80,6 +87,7 @@ let parse getenv =
     dist_parts;
     dist_latency_us;
     dist_bandwidth_gbs;
+    tune_db;
   }
 
 let cache : t option ref = ref None

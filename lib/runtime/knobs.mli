@@ -28,7 +28,10 @@
     {- [HECTOR_DIST_LATENCY_US] — simulated interconnect per-message
        latency in microseconds (positive float);}
     {- [HECTOR_DIST_BW_GBS] — simulated interconnect bandwidth in GB/s
-       (positive float).}}
+       (positive float);}
+    {- [HECTOR_TUNE_DB] — path of the persistent plan-tuning database
+       (JSON; see {!Tuning_db}): serving consults it at admission and the
+       autotuner records search winners into it.}}
 
     At module initialization this registers the [HECTOR_DOMAINS] parser as
     {!Hector_tensor.Domain_pool.set_default_sizing}'s hook, so pool sizing
@@ -50,6 +53,8 @@ type t = {
           distributed runtime falls back to its built-in default) *)
   dist_latency_us : float option;  (** [HECTOR_DIST_LATENCY_US], validated *)
   dist_bandwidth_gbs : float option;  (** [HECTOR_DIST_BW_GBS], validated *)
+  tune_db : string option;
+      (** [HECTOR_TUNE_DB]; [None] = unset/blank (no tuning database) *)
 }
 
 val parse : (string -> string option) -> t

@@ -1,0 +1,409 @@
+module Compiler = Hector_core.Compiler
+module Layout = Hector_core.Layout
+module Gs = Hector_core.Gemm_spec
+module Ts = Hector_core.Traversal_spec
+module G = Hector_graph.Hetgraph
+
+(* --- graph signatures ------------------------------------------------- *)
+
+type signature = {
+  nodes_per_ntype : int array;
+  edges_per_etype : int array;
+  mean_degree : float;
+}
+
+let signature (g : G.t) =
+  let nodes = Array.init (G.num_ntypes g) (fun nt -> snd (G.nodes_of_type g nt)) in
+  let edges = Array.init (G.num_etypes g) (fun et -> snd (G.edges_of_type g et)) in
+  (* sorted descending: invariant under node/edge *type* relabeling as well
+     as node-id permutations (which the per-type counts never see) *)
+  Array.sort (fun a b -> compare b a) nodes;
+  Array.sort (fun a b -> compare b a) edges;
+  {
+    nodes_per_ntype = nodes;
+    edges_per_etype = edges;
+    mean_degree = float_of_int g.G.num_edges /. float_of_int (max 1 g.G.num_nodes);
+  }
+
+(* Bucketization: half-log2 steps for counts, quarter-log2 for the mean
+   degree — graphs within ~40% of each other share a bucket, so a DB entry
+   generalizes to nearby sizes without a measurement. *)
+let bucket_count n = int_of_float (Float.round (2.0 *. log (float_of_int (1 + n)) /. log 2.0))
+let bucket_degree d = int_of_float (Float.round (4.0 *. log (1.0 +. Float.max 0.0 d) /. log 2.0))
+
+let bucketize s =
+  ( Array.map bucket_count s.nodes_per_ntype,
+    Array.map bucket_count s.edges_per_etype,
+    bucket_degree s.mean_degree )
+
+let log_distance a b =
+  let d = ref 0.0 in
+  let term x y =
+    let r = log ((1.0 +. x) /. (1.0 +. y)) in
+    d := !d +. (r *. r)
+  in
+  Array.iteri (fun i x -> term (float_of_int x) (float_of_int b.nodes_per_ntype.(i))) a.nodes_per_ntype;
+  Array.iteri (fun i x -> term (float_of_int x) (float_of_int b.edges_per_etype.(i))) a.edges_per_etype;
+  term a.mean_degree b.mean_degree;
+  !d
+
+(* --- entries ----------------------------------------------------------- *)
+
+type entry = {
+  model : string;
+  model_name : string;
+  device : string;
+  training : bool;
+  signature : signature;
+  options : Compiler.options;
+  estimated_ms : float;
+  measured_ms : float;
+}
+
+type t = { mutable entries : entry list }
+
+let create () = { entries = [] }
+let size t = List.length t.entries
+let entries t = t.entries
+
+let same_key a ~model ~device ~training ~buckets =
+  String.equal a.model model
+  && String.equal a.device device
+  && a.training = training
+  && bucketize a.signature = buckets
+
+let record t ~model ~model_name ~device ~training ~signature ~options ~estimated_ms
+    ~measured_ms =
+  let buckets = bucketize signature in
+  let e =
+    { model; model_name; device; training; signature; options; estimated_ms; measured_ms }
+  in
+  t.entries <- e :: List.filter (fun a -> not (same_key a ~model ~device ~training ~buckets)) t.entries
+
+type hit = Exact of entry | Nearest of entry
+
+let lookup t ~model ~device ~training signature =
+  let peers =
+    List.filter
+      (fun e ->
+        String.equal e.model model && String.equal e.device device && e.training = training)
+      t.entries
+  in
+  let buckets = bucketize signature in
+  match List.find_opt (fun e -> bucketize e.signature = buckets) peers with
+  | Some e -> Some (Exact e)
+  | None -> (
+      (* nearest signature bucket: same type-structure shape, smallest
+         log-space distance *)
+      let comparable =
+        List.filter
+          (fun e ->
+            Array.length e.signature.nodes_per_ntype = Array.length signature.nodes_per_ntype
+            && Array.length e.signature.edges_per_etype
+               = Array.length signature.edges_per_etype)
+          peers
+      in
+      match comparable with
+      | [] -> None
+      | first :: rest ->
+          let best =
+            List.fold_left
+              (fun acc e ->
+                if log_distance signature e.signature < log_distance signature acc.signature
+                then e
+                else acc)
+              first rest
+          in
+          Some (Nearest best))
+
+(* --- options <-> fields ------------------------------------------------ *)
+
+let options_fields (o : Compiler.options) =
+  [
+    ("compact", `Bool (o.Compiler.layout.Layout.materialization = Layout.Compact));
+    ("csr", `Bool (o.Compiler.layout.Layout.adjacency = Layout.Csr));
+    ("presorted", `Bool o.Compiler.layout.Layout.nodes_presorted);
+    ("fusion", `Bool o.Compiler.linear_fusion);
+    ("training", `Bool o.Compiler.training);
+    ("tile", `Int o.Compiler.gemm_schedule.Gs.tile_width);
+    ("coarsen", `Int o.Compiler.gemm_schedule.Gs.coarsen);
+    ("launch_bounds", `Bool o.Compiler.gemm_schedule.Gs.launch_bounds);
+    ("warp_accumulate", `Bool o.Compiler.traversal_schedule.Ts.warp_accumulate);
+    ("node_gather", `Bool o.Compiler.prefer_node_gather);
+    ( "fuse_ops",
+      match o.Compiler.fuse_ops with None -> `Null | Some b -> `Bool b );
+  ]
+
+(* --- JSON -------------------------------------------------------------- *)
+
+(* The repository carries no JSON dependency; the DB schema is fixed and
+   flat, so a ~60-line value parser suffices. *)
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Malformed
+
+let parse_json s =
+  let n = String.length s in
+  let i = ref 0 in
+  let peek () = if !i < n then s.[!i] else raise Malformed in
+  let skip_ws () =
+    while !i < n && (match s.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr i
+    done
+  in
+  let expect c = if !i < n && s.[!i] = c then incr i else raise Malformed in
+  let literal lit v =
+    let l = String.length lit in
+    if !i + l <= n && String.equal (String.sub s !i l) lit then (
+      i := !i + l;
+      v)
+    else raise Malformed
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !i >= n then raise Malformed
+      else
+        match s.[!i] with
+        | '"' -> incr i
+        | '\\' ->
+            incr i;
+            (match peek () with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'u' ->
+                (* the writer never emits \u, but tolerate it as '?' *)
+                if !i + 4 >= n then raise Malformed;
+                i := !i + 4;
+                Buffer.add_char b '?'
+            | _ -> raise Malformed);
+            incr i;
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            incr i;
+            go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !i in
+    while
+      !i < n
+      && match s.[!i] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    do
+      incr i
+    done;
+    match float_of_string_opt (String.sub s start (!i - start)) with
+    | Some f -> f
+    | None -> raise Malformed
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> Str (parse_string ())
+    | '{' ->
+        incr i;
+        skip_ws ();
+        if peek () = '}' then (
+          incr i;
+          Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                incr i;
+                members ((k, v) :: acc)
+            | '}' ->
+                incr i;
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> raise Malformed
+          in
+          members []
+    | '[' ->
+        incr i;
+        skip_ws ();
+        if peek () = ']' then (
+          incr i;
+          Arr [])
+        else
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                incr i;
+                elems (v :: acc)
+            | ']' ->
+                incr i;
+                Arr (List.rev (v :: acc))
+            | _ -> raise Malformed
+          in
+          elems []
+    | 't' -> Bool (literal "true" true)
+    | 'f' -> Bool (literal "false" false)
+    | 'n' -> literal "null" Null
+    | _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !i <> n then raise Malformed;
+  v
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let field_to_json = function
+  | `Bool b -> if b then "true" else "false"
+  | `Int n -> string_of_int n
+  | `Null -> "null"
+
+let entry_to_json e =
+  let ints a = String.concat "," (List.map string_of_int (Array.to_list a)) in
+  let opts =
+    options_fields e.options
+    |> List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" k (field_to_json v))
+    |> String.concat ","
+  in
+  Printf.sprintf
+    "{\"model\":\"%s\",\"model_name\":\"%s\",\"device\":\"%s\",\"training\":%b,\
+     \"nodes\":[%s],\"edges\":[%s],\"mean_degree\":%.17g,\"options\":{%s},\
+     \"options_id\":\"%s\",\"estimated_ms\":%.17g,\"measured_ms\":%.17g}"
+    (escape e.model) (escape e.model_name) (escape e.device) e.training
+    (ints e.signature.nodes_per_ntype)
+    (ints e.signature.edges_per_etype)
+    e.signature.mean_degree opts
+    (escape (Compiler.options_id e.options))
+    e.estimated_ms e.measured_ms
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"version\":1,\"entries\":[\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b ("  " ^ entry_to_json e))
+    (List.rev t.entries);
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let save t path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (to_json t);
+  close_out oc;
+  Sys.rename tmp path
+
+(* --- decoding ---------------------------------------------------------- *)
+
+let obj_field o name = match o with Obj fields -> List.assoc_opt name fields | _ -> None
+
+let bool_field o name d =
+  match obj_field o name with Some (Bool b) -> b | Some _ -> raise Malformed | None -> d
+
+let num_field o name d =
+  match obj_field o name with Some (Num f) -> f | Some _ -> raise Malformed | None -> d
+
+let str_field o name =
+  match obj_field o name with Some (Str s) -> s | _ -> raise Malformed
+
+let int_array_field o name =
+  match obj_field o name with
+  | Some (Arr l) ->
+      Array.of_list
+        (List.map (function Num f -> int_of_float f | _ -> raise Malformed) l)
+  | _ -> raise Malformed
+
+let options_of_json j =
+  let tile = int_of_float (num_field j "tile" 16.0) in
+  let coarsen = int_of_float (num_field j "coarsen" 1.0) in
+  let schedule = { Gs.tile_width = tile; coarsen; launch_bounds = bool_field j "launch_bounds" false } in
+  Gs.validate_schedule schedule;
+  {
+    Compiler.layout =
+      {
+        Layout.materialization =
+          (if bool_field j "compact" false then Layout.Compact else Layout.Vanilla);
+        adjacency = (if bool_field j "csr" false then Layout.Csr else Layout.Coo);
+        nodes_presorted = bool_field j "presorted" true;
+      };
+    linear_fusion = bool_field j "fusion" false;
+    training = bool_field j "training" false;
+    gemm_schedule = schedule;
+    traversal_schedule = { Ts.warp_accumulate = bool_field j "warp_accumulate" true };
+    prefer_node_gather = bool_field j "node_gather" false;
+    fuse_ops =
+      (match obj_field j "fuse_ops" with
+      | Some (Bool b) -> Some b
+      | Some Null | None -> None
+      | Some _ -> raise Malformed);
+  }
+
+let entry_of_json j =
+  let options =
+    match obj_field j "options" with Some o -> options_of_json o | None -> raise Malformed
+  in
+  {
+    model = str_field j "model";
+    model_name = str_field j "model_name";
+    device = str_field j "device";
+    training = bool_field j "training" false;
+    signature =
+      {
+        nodes_per_ntype = int_array_field j "nodes";
+        edges_per_etype = int_array_field j "edges";
+        mean_degree = num_field j "mean_degree" 0.0;
+      };
+    options;
+    estimated_ms = num_field j "estimated_ms" 0.0;
+    measured_ms = num_field j "measured_ms" 0.0;
+  }
+
+let of_json s =
+  match parse_json s with
+  | Obj _ as root -> (
+      match obj_field root "entries" with
+      | Some (Arr l) -> { entries = List.rev_map entry_of_json l }
+      | _ -> raise Malformed)
+  | _ -> raise Malformed
+
+let load path =
+  if not (Sys.file_exists path) then create ()
+  else
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    (* a corrupt or foreign file is treated as empty: tuning falls back to
+       the search path rather than failing the caller *)
+    match of_json s with db -> db | exception (Malformed | Invalid_argument _) -> create ()

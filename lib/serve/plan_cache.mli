@@ -32,9 +32,23 @@ val autotune :
   Hector_core.Inter_ir.program ->
   Hector_core.Compiler.options
 (** Pick compiler options for a model/graph pair with a deterministic
-    {!Hector_runtime.Autotune} search over the four U/C/F/C+F
-    configurations (inference, no schedule knobs) — the optional warmup
-    step of a serving replica. *)
+    full {!Hector_runtime.Autotune} search (inference, schedule knobs
+    included) — the optional warmup step of a serving replica. *)
+
+val tuned_options :
+  ?device:Hector_gpu.Device.t ->
+  ?db:Hector_runtime.Tuning_db.t ->
+  ?model_name:string ->
+  ?allow_search:bool ->
+  graph:Hector_graph.Hetgraph.t ->
+  Hector_core.Inter_ir.program ->
+  Hector_core.Compiler.options
+(** The admission-path ladder: resolve inference options for a
+    model/graph pair from the tuning database — exact signature hit, then
+    nearest same-shaped signature, then either a full search whose winner
+    is recorded into [db] ([allow_search], default [true]) or the fixed
+    {!Hector_core.Compiler.default_options} ([allow_search:false] — the
+    request path never searches). *)
 
 val hits : t -> int
 

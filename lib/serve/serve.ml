@@ -13,6 +13,7 @@ module Session = Hector_runtime.Session
 module Exec = Hector_runtime.Exec
 module Env = Hector_runtime.Env
 module Knobs = Hector_runtime.Knobs
+module Tuning_db = Hector_runtime.Tuning_db
 module Graph_ctx = Hector_runtime.Graph_ctx
 
 type config = {
@@ -24,6 +25,7 @@ type config = {
   queue_capacity : int option;
   options : Compiler.options option;
   autotune : bool;
+  tune_db : string option;
   device : Device.t;
   seed : int;
 }
@@ -38,6 +40,7 @@ let default_config =
     queue_capacity = None;
     options = None;
     autotune = false;
+    tune_db = None;
     device = Device.rtx3090;
     seed = 1;
   }
@@ -138,11 +141,31 @@ let create ?(config = default_config) ?obs ~graph program =
       program.Ir.decls
   in
   let cache = Plan_cache.create ~obs () in
+  (* admission-time options ladder: explicit config > tuning-DB hit (exact,
+     then nearest signature bucket) > a warmup search when [autotune] is
+     set (recorded back into the DB) > fixed defaults.  A DB hit admits
+     with zero candidate compiles and zero searches. *)
+  let db_path =
+    match config.tune_db with Some p -> Some p | None -> knobs.Knobs.tune_db
+  in
   let options =
     match config.options with
     | Some o -> { o with Compiler.training = false }
     | None ->
-        if config.autotune then Plan_cache.autotune ~device:config.device ~graph program
+        if config.autotune || db_path <> None then begin
+          let db = Option.map Tuning_db.load db_path in
+          let searches_before = Hector_runtime.Autotune.search_count () in
+          let o =
+            Plan_cache.tuned_options ~device:config.device ?db ~model_name:config.model
+              ~allow_search:config.autotune ~graph program
+          in
+          (match (db, db_path) with
+          | Some db, Some path
+            when Hector_runtime.Autotune.search_count () > searches_before ->
+              Tuning_db.save db path
+          | _ -> ());
+          o
+        end
         else Compiler.default_options
   in
   let compiled =

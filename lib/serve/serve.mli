@@ -43,11 +43,19 @@ type config = {
   queue_capacity : int option;
       (** admission bound; [None] → [HECTOR_SERVE_QUEUE] knob, else 64 *)
   options : Hector_core.Compiler.options option;
-      (** compiler options ([training] is forced off); [None] → default
-          options, or autotuned when [autotune] is set *)
+      (** compiler options ([training] is forced off); [None] → the
+          tuning-database / autotune ladder below, else default options *)
   autotune : bool;
-      (** pick options with {!Plan_cache.autotune} at warmup (ignored when
-          [options] is given) *)
+      (** on a tuning-database miss, run a full warmup search (schedule
+          knobs included) and record the winner back; with this off the
+          miss path uses fixed default options — admission {e never}
+          searches unless [autotune] asks for it, and a warm DB hit never
+          searches or compiles candidates at all (ignored when [options]
+          is given) *)
+  tune_db : string option;
+      (** persistent {!Hector_runtime.Tuning_db} path consulted at
+          admission (exact signature hit, then nearest bucket, then the
+          [autotune] policy above); [None] → the [HECTOR_TUNE_DB] knob *)
   device : Hector_gpu.Device.t;
   seed : int;  (** weight/feature initialization seed *)
 }

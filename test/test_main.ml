@@ -15,6 +15,7 @@ let () =
       ("baselines", Test_baselines.suite);
       ("models", Test_models.suite);
       ("experiments", Test_experiments.suite);
+      ("autotune", Test_autotune.suite);
       ("sampler", Test_sampler.suite);
       ("serve", Test_serve.suite);
       ("frontend", Test_frontend.suite);
