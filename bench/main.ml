@@ -615,43 +615,62 @@ let run_dist ~json ~check ~tolerance () =
   in
   let comms = Hector_dist.Comms.create ~latency_us:5.0 ~bandwidth_gbs:25.0 () in
   let epochs = 4 in
+  let measure ~overlap parts =
+    let cfg =
+      {
+        Replica.Config.default with
+        Replica.Config.parts = Some parts;
+        comms = Some comms;
+        overlap;
+      }
+    in
+    let cluster = Replica.create ~config:cfg ~features ~graph [ compiled ] in
+    ignore (Replica.train_step cluster ~labels ());
+    Replica.reset_clocks cluster;
+    for _ = 1 to epochs do
+      ignore (Replica.train_step cluster ~labels ())
+    done;
+    let ms_epoch = Replica.elapsed_ms cluster /. float_of_int epochs in
+    let launches_epoch = Replica.launches cluster / epochs in
+    let busy = Replica.busy_ms cluster in
+    let comm_ratio = if busy > 0.0 then Replica.comm_ms cluster /. busy else 0.0 in
+    (ms_epoch, launches_epoch, comm_ratio, cluster)
+  in
   print_endline "Distributed benchmark (simulated clock, data-parallel RGCN training):";
   let measured =
     List.map
       (fun parts ->
-        let cluster = Replica.create ~parts ~comms ~features ~graph [ compiled ] in
-        ignore (Replica.train_step cluster ~labels ());
-        Replica.reset_clocks cluster;
-        for _ = 1 to epochs do
-          ignore (Replica.train_step cluster ~labels ())
-        done;
-        let ms_epoch = Replica.elapsed_ms cluster /. float_of_int epochs in
-        let launches_epoch = Replica.launches cluster / epochs in
-        let busy = Replica.busy_ms cluster in
-        let comm_ratio = if busy > 0.0 then Replica.comm_ms cluster /. busy else 0.0 in
+        (* headline numbers use the default overlapped schedule; a blocking
+           BSP run of the same cluster quantifies what overlap hides *)
+        let ms_epoch, launches_epoch, comm_ratio, cluster = measure ~overlap:true parts in
+        let bsp_ms_epoch, _, bsp_comm_ratio, _ = measure ~overlap:false parts in
         let pt = Replica.partition cluster in
         Printf.printf
-          "  %d partition(s): %8.3f sim-ms/epoch   %4d launches/epoch   comm/busy %.4f   \
-           edge cut %4.1f%%   balance %.3f\n"
-          parts ms_epoch launches_epoch comm_ratio
+          "  %d partition(s): %8.3f sim-ms/epoch   %4d launches/epoch   comm/busy %.4f \
+           (bsp %.4f)   edge cut %4.1f%%   balance %.3f\n"
+          parts ms_epoch launches_epoch comm_ratio bsp_comm_ratio
           (100.0 *. Hector_graph.Partition.edge_cut_fraction pt)
           (Hector_graph.Partition.balance pt);
-        (parts, ms_epoch, launches_epoch, comm_ratio, cluster))
+        (parts, ms_epoch, launches_epoch, comm_ratio, bsp_ms_epoch, bsp_comm_ratio, cluster))
       [ 1; 2; 4 ]
   in
   let entries =
     List.concat_map
-      (fun (parts, ms_epoch, launches_epoch, comm_ratio, _) ->
+      (fun (parts, ms_epoch, launches_epoch, comm_ratio, bsp_ms_epoch, bsp_comm_ratio, _) ->
         (Printf.sprintf "dist/p%d_ms_epoch" parts, ms_epoch, Some launches_epoch)
         :: (if parts > 1 then
-              [ (Printf.sprintf "dist/p%d_comm_ratio" parts, comm_ratio, None) ]
+              [
+                (Printf.sprintf "dist/p%d_comm_ratio" parts, comm_ratio, None);
+                (Printf.sprintf "dist/p%d_ms_epoch_bsp" parts, bsp_ms_epoch, None);
+                (Printf.sprintf "dist/p%d_comm_ratio_bsp" parts, bsp_comm_ratio, None);
+              ]
             else []))
       measured
   in
   if json then begin
     let meta =
       match List.rev measured with
-      | (_, _, _, _, cluster) :: _ -> Replica.metrics_json cluster
+      | (_, _, _, _, _, _, cluster) :: _ -> Replica.metrics_json cluster
       | [] -> "{}"
     in
     let buf = Buffer.create 512 in
@@ -695,7 +714,8 @@ let usage () =
     \                   RGCN over a deterministic open-loop arrival trace)\n\
     \  --dist           run the distributed-training benchmark instead\n\
     \                   (data-parallel RGCN at 1/2/4 partitions with halo\n\
-    \                   exchange and gradient all-reduce)\n\
+    \                   exchange and gradient all-reduce, reported for the\n\
+    \                   overlapped schedule and the blocking BSP schedule)\n\
     \  --tune           run the autotuner benchmark instead: two-stage search\n\
     \                   per model-zoo entry, gating (one-sided, in-run) that\n\
     \                   the tuned config beats every fixed U/C/F/C+F config\n\
@@ -729,6 +749,9 @@ let usage () =
     \  HECTOR_SERVE_QUEUE  serving admission-queue bound (default 64)\n\
     \  HECTOR_DIST_PARTS   default partition count for distributed runs\n\
     \  HECTOR_DIST_LATENCY_US / HECTOR_DIST_BW_GBS  interconnect cost model\n\
+    \  HECTOR_DIST_CHANNELS  concurrent transfer channels per engine (default 2)\n\
+    \  HECTOR_DIST_BUCKET_KB gradient all-reduce bucket size in KiB (default 64)\n\
+    \  HECTOR_DIST_PIPELINE  micro-batch pipeline depth (default 1 = off)\n\
     \  HECTOR_TUNE_DB   persistent plan-tuning database path (JSON)\n"
 
 let cli_error fmt =

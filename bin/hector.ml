@@ -253,7 +253,12 @@ let cmd_partition =
   in
   Cmd.v
     (Cmd.info "partition"
-       ~doc:"Partition a dataset replica for distributed execution and report the cut.")
+       ~doc:
+         "Partition a dataset replica for distributed execution and report the cut. \
+          Training over the partitions runs the overlapped schedule by default \
+          (async Comms.post/wait transfers on HECTOR_DIST_CHANNELS channels, \
+          HECTOR_DIST_BUCKET_KB gradient buckets, optional HECTOR_DIST_PIPELINE \
+          micro-batching); see Hector_dist.Replica.Config.")
     Term.(const run $ dataset_arg $ max_edges_arg $ parts_arg $ slack_arg)
 
 let cmd_autotune =

@@ -2,12 +2,13 @@ module Engine = Hector_gpu.Engine
 module Kernel = Hector_gpu.Kernel
 module Knobs = Hector_runtime.Knobs
 
-type t = { latency_us : float; bandwidth_gbs : float }
+type t = { latency_us : float; bandwidth_gbs : float; channels : int }
 
 let default_latency_us = 5.0
 let default_bandwidth_gbs = 25.0
+let default_channels = 2
 
-let create ?latency_us ?bandwidth_gbs () =
+let create ?latency_us ?bandwidth_gbs ?channels () =
   let knobs = Knobs.current () in
   let pick v knob ~default =
     match v with
@@ -20,26 +21,52 @@ let create ?latency_us ?bandwidth_gbs () =
   let bandwidth_gbs =
     pick bandwidth_gbs knobs.Knobs.dist_bandwidth_gbs ~default:default_bandwidth_gbs
   in
+  let channels = pick channels knobs.Knobs.dist_channels ~default:default_channels in
   if latency_us <= 0.0 then invalid_arg "Comms.create: latency must be positive";
   if bandwidth_gbs <= 0.0 then invalid_arg "Comms.create: bandwidth must be positive";
-  { latency_us; bandwidth_gbs }
+  if channels < 1 then invalid_arg "Comms.create: channel count must be positive";
+  { latency_us; bandwidth_gbs; channels }
 
 let default () = create ()
 
 let transfer_ms c ~bytes =
   (c.latency_us /. 1e3) +. (bytes /. (c.bandwidth_gbs *. 1e9) *. 1e3)
 
-let charge c engine ~op ~messages ~bytes =
-  if messages < 0 then invalid_arg "Comms.charge: negative message count";
-  if bytes < 0.0 then invalid_arg "Comms.charge: negative byte count";
-  if messages > 0 && bytes >= 0.0 then begin
-    let ms =
-      (float_of_int messages *. c.latency_us /. 1e3)
-      +. (bytes /. (c.bandwidth_gbs *. 1e9) *. 1e3)
+let cost_ms c ~messages ~bytes =
+  (float_of_int messages *. c.latency_us /. 1e3)
+  +. (bytes /. (c.bandwidth_gbs *. 1e9) *. 1e3)
+
+(* A completed-or-pending transfer.  [Done] is the zero-message transfer:
+   waiting on it is free, so call sites need no special-casing. *)
+type handle =
+  | Done
+  | Pending of { engine : Engine.t; op : string; completion_ms : float }
+
+let post c ?ready engine ~chan ~op ~messages ~bytes =
+  if messages < 0 then invalid_arg "Comms.post: negative message count";
+  if bytes < 0.0 then invalid_arg "Comms.post: negative byte count";
+  if chan < 0 then invalid_arg "Comms.post: negative channel";
+  if messages = 0 then Done
+  else begin
+    let ms = cost_ms c ~messages ~bytes in
+    (* Callers address channels by peer/bucket index; fold onto the
+       configured lane count so the same code works for any [channels]. *)
+    let chan = chan mod c.channels in
+    let completion_ms =
+      Engine.post engine ~chan ?ready ~ms
+        (Kernel.make ~name:op ~category:Kernel.Comm ~grid_blocks:messages
+           ~bytes_coalesced:bytes ~graph_proportional:false
+           ~provenance:(Kernel.provenance ~origin:"dist.comms" op)
+           ())
     in
-    Engine.charge engine ~ms
-      (Kernel.make ~name:op ~category:Kernel.Comm ~grid_blocks:messages
-         ~bytes_coalesced:bytes ~graph_proportional:false
-         ~provenance:(Kernel.provenance ~origin:"dist.comms" op)
-         ())
+    Pending { engine; op; completion_ms }
   end
+
+let wait = function
+  | Done -> ()
+  | Pending { engine; op; completion_ms } -> Engine.wait_until engine ~op completion_ms
+
+let completion_ms = function Done -> 0.0 | Pending p -> p.completion_ms
+
+let charge c engine ~op ~messages ~bytes =
+  wait (post c engine ~chan:0 ~op ~messages ~bytes)

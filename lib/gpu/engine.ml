@@ -6,6 +6,7 @@ type event = {
   start_ms : float;
   duration_ms : float;
   prov : Kernel.provenance option;
+  chan : int option;  (* async transfer channel, None = the compute stream *)
 }
 
 type t = {
@@ -17,6 +18,8 @@ type t = {
   obs : Obs.t;
   mutable events : event list;  (* newest first *)
   mutable clock_ms : float;
+  mutable chan_until : float array;  (* per-channel busy-until, grown on demand *)
+  mutable posted_comm_ms : float;  (* total posted async transfer time *)
 }
 
 let create ?(device = Device.rtx3090) ?(scale = 1.0) ?(trace = false) ?(obs = Obs.disabled) () =
@@ -33,6 +36,8 @@ let create ?(device = Device.rtx3090) ?(scale = 1.0) ?(trace = false) ?(obs = Ob
     obs;
     events = [];
     clock_ms = 0.0;
+    chan_until = [||];
+    posted_comm_ms = 0.0;
   }
 
 let device t = t.device
@@ -45,6 +50,8 @@ let elapsed_ms t = t.clock_ms
 let reset_clock ?(keep_events = false) t =
   t.clock_ms <- 0.0;
   if not keep_events then t.events <- [];
+  t.chan_until <- [||];
+  t.posted_comm_ms <- 0.0;
   Stats.reset t.stats
 
 let events t = List.rev t.events
@@ -67,12 +74,15 @@ let add_kernel_event buf e =
         Printf.sprintf ",\"args\":{\"op\":\"%s\",\"step\":%d,\"origin\":\"%s\"%s}"
           (json_escape p.Kernel.op) p.Kernel.step (json_escape p.Kernel.origin) fused
   in
+  (* compute launches render on tid 1; async transfers on tid 2+channel, so
+     Perfetto shows overlapped Comm spans on their own rows *)
+  let tid = match e.chan with None -> 1 | Some c -> 2 + c in
   Buffer.add_string buf
     (Printf.sprintf
-       "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1%s}"
+       "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d%s}"
        (json_escape e.name)
        (json_escape (Kernel.category_name e.category))
-       (e.start_ms *. 1e3) (e.duration_ms *. 1e3) args)
+       (e.start_ms *. 1e3) (e.duration_ms *. 1e3) tid args)
 
 let to_chrome_trace ?obs t =
   let buf = Buffer.create 1024 in
@@ -101,27 +111,33 @@ let to_chrome_trace ?obs t =
   Buffer.add_string buf "]}";
   Buffer.contents buf
 
+let entries_json entries =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (name, (e : Stats.entry)) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":{\"time_ms\":%.6f,\"launches\":%d}" (json_escape name)
+           e.Stats.time_ms e.Stats.launches))
+    entries;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let by_category_json t =
+  entries_json
+    (List.map (fun (c, e) -> (Kernel.category_name c, e)) (Stats.by_category t.stats))
+
+let by_op_json t = entries_json (Stats.by_op t.stats)
+
 let metrics_json ?obs t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "{\"elapsed_ms\":%.6f" t.clock_ms);
   Buffer.add_string buf (Printf.sprintf ",\"attributed_ms\":%.6f" (Stats.attributed_ms t.stats));
-  Buffer.add_string buf ",\"by_category\":{";
-  List.iteri
-    (fun i (c, (e : Stats.entry)) ->
-      if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf
-        (Printf.sprintf "\"%s\":{\"time_ms\":%.6f,\"launches\":%d}"
-           (Kernel.category_name c) e.Stats.time_ms e.Stats.launches))
-    (Stats.by_category t.stats);
-  Buffer.add_string buf "},\"by_op\":{";
-  List.iteri
-    (fun i (op, (e : Stats.entry)) ->
-      if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf
-        (Printf.sprintf "\"%s\":{\"time_ms\":%.6f,\"launches\":%d}" (json_escape op)
-           e.Stats.time_ms e.Stats.launches))
-    (Stats.by_op t.stats);
-  Buffer.add_char buf '}';
+  Buffer.add_string buf ",\"by_category\":";
+  Buffer.add_string buf (by_category_json t);
+  Buffer.add_string buf ",\"by_op\":";
+  Buffer.add_string buf (by_op_json t);
   (match obs with
   | Some o when Obs.enabled o ->
       Buffer.add_string buf (Printf.sprintf ",\"counters\":%s" (Obs.counters_json o));
@@ -177,6 +193,7 @@ let record_timed t k' time =
         start_ms = t.clock_ms;
         duration_ms = time;
         prov = k'.Kernel.prov;
+        chan = None;
       }
       :: t.events;
   t.clock_ms <- t.clock_ms +. time;
@@ -186,6 +203,61 @@ let charge t ~ms k =
   if ms < 0.0 then invalid_arg "Engine.charge: negative duration";
   Obs.add t.obs "engine.comm_charges" 1;
   record_timed t k ms
+
+(* --- asynchronous transfer channels --------------------------------
+
+   A channel is a DMA/copy-engine lane with its own busy-until time.  A
+   posted transfer starts when both its payload is ready and the channel is
+   free, occupies the channel for [ms], and does NOT advance the engine
+   clock: the launch (and its work quantities) is recorded immediately with
+   zero time, and the time a consumer actually stalls is charged by
+   [wait_until] as Comm-category wait on the transfer's op.  Transfers on
+   distinct channels — or on a channel whose work sits behind the compute
+   clock — therefore overlap with compute instead of serializing, while
+   [Stats.attributed_ms] keeps covering the whole clock. *)
+
+let ensure_chan t chan =
+  if chan < 0 then invalid_arg "Engine.post: negative channel";
+  if chan >= Array.length t.chan_until then begin
+    let grown = Array.make (chan + 1) 0.0 in
+    Array.blit t.chan_until 0 grown 0 (Array.length t.chan_until);
+    t.chan_until <- grown
+  end
+
+let channel_until t ~chan =
+  if chan < 0 || chan >= Array.length t.chan_until then 0.0 else t.chan_until.(chan)
+
+let post t ~chan ?ready ~ms (k : Kernel.t) =
+  if ms < 0.0 then invalid_arg "Engine.post: negative duration";
+  ensure_chan t chan;
+  let ready = match ready with Some r -> r | None -> t.clock_ms in
+  let start = Float.max ready t.chan_until.(chan) in
+  t.chan_until.(chan) <- start +. ms;
+  t.posted_comm_ms <- t.posted_comm_ms +. ms;
+  if t.trace then
+    t.events <-
+      {
+        name = k.Kernel.name;
+        category = k.Kernel.category;
+        start_ms = start;
+        duration_ms = ms;
+        prov = k.Kernel.prov;
+        chan = Some chan;
+      }
+      :: t.events;
+  Obs.add t.obs "engine.comm_posts" 1;
+  Stats.record t.stats k ~time_ms:0.0 ~flops:k.Kernel.flops ~bytes:(Kernel.total_bytes k);
+  start +. ms
+
+let wait_until t ~op until =
+  let gap = until -. t.clock_ms in
+  if gap > 0.0 then begin
+    t.clock_ms <- t.clock_ms +. gap;
+    Obs.add t.obs "engine.comm_waits" 1;
+    Stats.record_wait t.stats ~category:Kernel.Comm ~op ~time_ms:gap
+  end
+
+let posted_comm_ms t = t.posted_comm_ms
 
 let launch t k =
   let k' = scaled_kernel t k in

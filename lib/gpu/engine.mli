@@ -44,6 +44,34 @@ val charge : t -> ms:float -> Kernel.t -> unit
     timeline.  No graph-proportional scaling is applied.  Raises
     [Invalid_argument] on negative [ms]. *)
 
+val post : t -> chan:int -> ?ready:float -> ms:float -> Kernel.t -> float
+(** [post t ~chan ~ready ~ms k] schedules an asynchronous transfer on
+    channel [chan]: it starts at [max ready (channel busy-until)] (default
+    [ready] = the current clock), occupies the channel for [ms], and
+    returns its completion time.  The engine clock does {e not} advance:
+    the kernel is recorded immediately (launch count, flops, bytes) with
+    zero time, the transfer appears on the trace timeline at its true
+    start on the channel's own track, and the time a consumer actually
+    stalls is charged later by {!wait_until}.  Transfers on distinct
+    channels — or posted behind the compute clock — thus overlap with
+    compute instead of serializing.  Raises [Invalid_argument] on a
+    negative channel or duration. *)
+
+val wait_until : t -> op:string -> float -> unit
+(** [wait_until t ~op until] blocks the engine until simulated time
+    [until]: if the clock is behind, it advances to [until] and the gap is
+    attributed to [op] in the [Comm] category as wait time (no launch) —
+    the {e exposed} cost of an asynchronous transfer.  A no-op when the
+    clock is already past [until]. *)
+
+val channel_until : t -> chan:int -> float
+(** Busy-until time of one transfer channel (0 for never-used channels). *)
+
+val posted_comm_ms : t -> float
+(** Total duration of all transfers posted since creation or the last
+    {!reset_clock} — the denominator of the overlap ratio: exposed comm is
+    the [Comm]-category stats time, overlapped comm is the difference. *)
+
 val host_sync : t -> ?us:float -> unit -> unit
 (** Charge a host-side synchronization/dispatch gap (e.g. a Python-loop
     iteration between per-relation kernels in baseline systems).  The gap
@@ -70,6 +98,9 @@ type event = {
   start_ms : float;  (** simulated start time *)
   duration_ms : float;
   prov : Kernel.provenance option;  (** attribution of the traced launch *)
+  chan : int option;
+      (** asynchronous transfer channel ({!post}), [None] for the compute
+          stream; channel [c] renders on tid [2 + c] in the chrome trace *)
 }
 
 val events : t -> event list
@@ -88,6 +119,13 @@ val metrics_json : ?obs:Hector_obs.t -> t -> string
 (** A single-line JSON metrics snapshot: [elapsed_ms], [attributed_ms],
     per-category and per-op time/launch tables, plus — when an enabled
     [obs] is given — its counters and nested pass/run spans. *)
+
+val by_category_json : t -> string
+(** The per-category time/launch table as a JSON object fragment — for
+    embedding in subsystem-level metrics documents. *)
+
+val by_op_json : t -> string
+(** The per-op time/launch table as a JSON object fragment. *)
 
 val json_escape : string -> string
 (** Escape a string for embedding in a JSON document (quotes, backslashes,

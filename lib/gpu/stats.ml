@@ -43,6 +43,18 @@ let record_sync t ~time_ms =
   let prev = Option.value (Hashtbl.find_opt t.ops sync_op) ~default:empty_entry in
   Hashtbl.replace t.ops sync_op { prev with time_ms = prev.time_ms +. time_ms }
 
+(* Exposed wait on an asynchronously posted transfer: clock time attributed
+   to the transfer's op and category, but no extra launch (the launch was
+   counted when the transfer was posted). *)
+let record_wait t ~category ~op ~time_ms =
+  t.categories <-
+    List.map
+      (fun (c, e) ->
+        if c = category then (c, { e with time_ms = e.time_ms +. time_ms }) else (c, e))
+      t.categories;
+  let prev = Option.value (Hashtbl.find_opt t.ops op) ~default:empty_entry in
+  Hashtbl.replace t.ops op { prev with time_ms = prev.time_ms +. time_ms }
+
 let total t =
   List.fold_left
     (fun acc (_, e) ->

@@ -32,6 +32,15 @@ val record_sync : t -> time_ms:float -> unit
 val sync_op : string
 (** The pseudo-op host syncs are attributed to (["host_sync"]). *)
 
+val record_wait : t -> category:Kernel.category -> op:string -> time_ms:float -> unit
+(** Account the {e exposed} portion of an asynchronously posted transfer:
+    time is added to [op] (per-op table) and to [category], but no launch
+    is counted — the launch was recorded when the transfer was posted
+    (with zero time).  Splitting a transfer into post (launch, work, zero
+    time) + wait (exposed time only) keeps {!attributed_ms} equal to the
+    engine clock while letting the overlapped portion vanish from the
+    category's time column. *)
+
 val total : t -> entry
 (** Aggregate over everything. *)
 

@@ -141,3 +141,45 @@ let trace_events t ~pid =
   in
   List.iter walk (spans t);
   List.rev !acc
+
+(* --- shared metrics schema ------------------------------------------- *)
+
+module Metrics = struct
+  type field = string * string
+
+  let int k v : field = (k, string_of_int v)
+  let float k v : field = (k, Printf.sprintf "%.6f" v)
+  let str k v : field = (k, Printf.sprintf "\"%s\"" (json_escape v))
+  let raw k v : field = (k, v)
+
+  let obj fields =
+    let buf = Buffer.create 256 in
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Printf.sprintf "\"%s\":%s" (json_escape k) v))
+      fields;
+    Buffer.add_char buf '}';
+    Buffer.contents buf
+
+  let comm ~posted_ms ~exposed_ms =
+    let overlap_ratio =
+      if posted_ms > 0.0 then Stdlib.max 0.0 ((posted_ms -. exposed_ms) /. posted_ms)
+      else 0.0
+    in
+    raw "comm"
+      (obj
+         [
+           float "posted_ms" posted_ms;
+           float "exposed_ms" exposed_ms;
+           float "overlap_ratio" overlap_ratio;
+         ])
+
+  let envelope ~subsystem ~elapsed_ms ~launches fields =
+    obj
+      (str "subsystem" subsystem
+      :: float "elapsed_ms" elapsed_ms
+      :: int "launches" launches
+      :: fields)
+end

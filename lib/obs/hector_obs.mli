@@ -82,3 +82,37 @@ val trace_events : t -> pid:int -> string list
     one JSON object fragment per span, under process id [pid].  Timestamps
     are wall-clock microseconds relative to the handle's creation, so they
     live on a separate timeline from simulated kernel events. *)
+
+(** {2 Shared metrics schema}
+
+    Every subsystem-level [metrics_json] (session, serving, distributed)
+    builds its document through this module, so the cross-cutting keys are
+    uniform: ["subsystem"], ["elapsed_ms"], ["launches"], and — where the
+    subsystem moves bytes — a ["comm"] object with ["posted_ms"],
+    ["exposed_ms"] and ["overlap_ratio"] ([1 − exposed/posted], 0 when
+    nothing was posted).  Subsystem-specific keys ride along as extra
+    fields. *)
+module Metrics : sig
+  type field
+  (** One key/value pair of a metrics object. *)
+
+  val int : string -> int -> field
+  val float : string -> float -> field
+  val str : string -> string -> field
+
+  val raw : string -> string -> field
+  (** A pre-serialized JSON value (object, array, number). *)
+
+  val obj : field list -> string
+  (** Serialize fields as a single-line JSON object (keys escaped). *)
+
+  val comm : posted_ms:float -> exposed_ms:float -> field
+  (** The uniform ["comm"] block: total posted transfer time, the exposed
+      (non-overlapped) part actually charged to the clock, and the overlap
+      ratio between them. *)
+
+  val envelope : subsystem:string -> elapsed_ms:float -> launches:int -> field list -> string
+  (** The shared envelope: [{"subsystem":..,"elapsed_ms":..,"launches":..,
+      <fields>}] — the schema the metrics drift test pins across
+      subsystems. *)
+end

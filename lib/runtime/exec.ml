@@ -1346,10 +1346,14 @@ let run_step ?(step_idx = -1) t (plan : Plan.t) step =
 
 (* planner off: every plan buffer is allocated for the whole run — the
    reference point the planner's peak-memory saving is measured against *)
-let run_plan_upfront ~free_temps t (plan : Plan.t) =
+let run_plan_upfront ?on_step ~free_temps t (plan : Plan.t) =
   let inlined = Plan.inline_zeroed plan in
   List.iter (fun (b : Plan.buffer) -> alloc_buffer ~inlined t b) plan.Plan.buffers;
-  List.iteri (fun i step -> run_step ~step_idx:i t plan step) plan.Plan.steps;
+  List.iteri
+    (fun i step ->
+      run_step ~step_idx:i t plan step;
+      match on_step with None -> () | Some f -> f i)
+    plan.Plan.steps;
   if free_temps then free_temp_buffers t plan
 
 (* --- plan-lifetime arena ---------------------------------------------
@@ -1503,9 +1507,9 @@ let bind_managed ?(inlined = []) ~shared t (m : managed) =
   if b.Plan.zero_init && not (List.mem b.Plan.name inlined) then
     launch_memset t b.Plan.name (Tensor.dim m.mview 0) b.Plan.dim
 
-let run_plan ?(free_temps = true) t (plan : Plan.t) =
+let run_plan ?on_step ?(free_temps = true) t (plan : Plan.t) =
   Hector_obs.time (Engine.obs t.engine) ~kind:"run" ("run_plan:" ^ plan.Plan.name) @@ fun () ->
-  if not t.planner then run_plan_upfront ~free_temps t plan
+  if not t.planner then run_plan_upfront ?on_step ~free_temps t plan
   else begin
     let arena = find_arena t plan ~shared:free_temps in
     let inlined = Plan.inline_zeroed plan in
@@ -1515,6 +1519,7 @@ let run_plan ?(free_temps = true) t (plan : Plan.t) =
       (fun i step ->
         List.iter (bind_managed ~inlined ~shared:free_temps t) arena.abind.(i);
         run_step ~step_idx:i t plan step;
+        (match on_step with None -> () | Some f -> f i);
         if free_temps then List.iter (fun n -> free_buffer t n) arena.aunbind.(i))
       plan.Plan.steps;
     if free_temps then free_temp_buffers t plan

@@ -80,9 +80,12 @@ val warm_plan : ?free_temps:bool -> t -> Hector_core.Plan.t -> unit
     the first [run_plan].  [free_temps] must match the mode later runs use
     (default [true]).  No-op when the planner is off. *)
 
-val run_plan : ?free_temps:bool -> t -> Hector_core.Plan.t -> unit
+val run_plan : ?on_step:(int -> unit) -> ?free_temps:bool -> t -> Hector_core.Plan.t -> unit
 (** Execute all steps in order: materialize (and zero) the plan's buffers,
     run every step, then free buffers marked [temp] (default [true]).
+    [on_step] is called with each top-level step index right after that
+    step executes — the hook the distributed runtime uses to detect
+    gradient-bucket boundaries while backward is still running.
     With the planner on, buffer storage comes from a per-plan arena reused
     across calls: the first call allocates one backing per storage slot of
     the {!Hector_core.Plan.memory} coloring, later calls allocate nothing.

@@ -10,6 +10,9 @@ type t = {
   dist_parts : int option;
   dist_latency_us : float option;
   dist_bandwidth_gbs : float option;
+  dist_channels : int option;
+  dist_bucket_kb : int option;
+  dist_pipeline : int option;
   tune_db : string option;
 }
 
@@ -24,6 +27,9 @@ let defaults =
     dist_parts = None;
     dist_latency_us = None;
     dist_bandwidth_gbs = None;
+    dist_channels = None;
+    dist_bucket_kb = None;
+    dist_pipeline = None;
     tune_db = None;
   }
 
@@ -77,6 +83,9 @@ let parse getenv =
   in
   let dist_latency_us = positive_float "HECTOR_DIST_LATENCY_US" in
   let dist_bandwidth_gbs = positive_float "HECTOR_DIST_BW_GBS" in
+  let dist_channels = positive "HECTOR_DIST_CHANNELS" in
+  let dist_bucket_kb = positive "HECTOR_DIST_BUCKET_KB" in
+  let dist_pipeline = positive "HECTOR_DIST_PIPELINE" in
   {
     domains;
     arena;
@@ -87,6 +96,9 @@ let parse getenv =
     dist_parts;
     dist_latency_us;
     dist_bandwidth_gbs;
+    dist_channels;
+    dist_bucket_kb;
+    dist_pipeline;
     tune_db;
   }
 

@@ -29,6 +29,12 @@
        latency in microseconds (positive float);}
     {- [HECTOR_DIST_BW_GBS] — simulated interconnect bandwidth in GB/s
        (positive float);}
+    {- [HECTOR_DIST_CHANNELS] — concurrent transfer channels of the
+       asynchronous interconnect (positive integer);}
+    {- [HECTOR_DIST_BUCKET_KB] — gradient all-reduce bucket size in KiB
+       (positive integer);}
+    {- [HECTOR_DIST_PIPELINE] — micro-batch pipeline depth of overlapped
+       distributed training (positive integer; [1] disables pipelining);}
     {- [HECTOR_TUNE_DB] — path of the persistent plan-tuning database
        (JSON; see {!Tuning_db}): serving consults it at admission and the
        autotuner records search winners into it.}}
@@ -53,6 +59,9 @@ type t = {
           distributed runtime falls back to its built-in default) *)
   dist_latency_us : float option;  (** [HECTOR_DIST_LATENCY_US], validated *)
   dist_bandwidth_gbs : float option;  (** [HECTOR_DIST_BW_GBS], validated *)
+  dist_channels : int option;  (** [HECTOR_DIST_CHANNELS], validated *)
+  dist_bucket_kb : int option;  (** [HECTOR_DIST_BUCKET_KB], validated *)
+  dist_pipeline : int option;  (** [HECTOR_DIST_PIPELINE], validated *)
   tune_db : string option;
       (** [HECTOR_TUNE_DB]; [None] = unset/blank (no tuning database) *)
 }

@@ -184,7 +184,25 @@ let obs t = Engine.obs t.exec.Exec.engine
 let weights t = Env.weights t.exec.Exec.env
 let weight_grads t = Env.weight_grads t.exec.Exec.env
 let reset_clock ?keep_events t = Engine.reset_clock ?keep_events t.exec.Exec.engine
-let metrics_json t = Engine.metrics_json ~obs:(obs t) (engine t)
+let metrics_json t =
+  let module M = Hector_obs.Metrics in
+  let module Stats = Hector_gpu.Stats in
+  let e = engine t in
+  let st = Engine.stats e in
+  let o = obs t in
+  M.envelope ~subsystem:"session" ~elapsed_ms:(Engine.elapsed_ms e)
+    ~launches:(Stats.total st).Stats.launches
+    ([
+       M.comm ~posted_ms:(Engine.posted_comm_ms e)
+         ~exposed_ms:(Stats.of_category st Hector_gpu.Kernel.Comm).Stats.time_ms;
+       M.float "attributed_ms" (Stats.attributed_ms st);
+       M.raw "by_category" (Engine.by_category_json e);
+       M.raw "by_op" (Engine.by_op_json e);
+     ]
+    @
+    if Hector_obs.enabled o then
+      [ M.raw "counters" (Hector_obs.counters_json o); M.raw "spans" (Hector_obs.spans_json o) ]
+    else [])
 let chrome_trace t = Engine.to_chrome_trace ~obs:(obs t) (engine t)
 
 let output_dim t =

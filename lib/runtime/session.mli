@@ -109,10 +109,11 @@ val obs : t -> Hector_obs.t
     configured one, or {!Hector_obs.disabled}). *)
 
 val metrics_json : t -> string
-(** Single-line JSON metrics snapshot for this session: simulated
-    [elapsed_ms], per-category and per-op attribution tables, and — when
-    observability is enabled — wall-clock spans and counters (see
-    {!Engine.metrics_json}). *)
+(** Single-line JSON metrics snapshot for this session in the shared
+    {!Hector_obs.Metrics} envelope (["subsystem"], ["elapsed_ms"],
+    ["launches"], ["comm"]): simulated attribution tables ([by_category],
+    [by_op]) and — when observability is enabled — wall-clock spans and
+    counters. *)
 
 val chrome_trace : t -> string
 (** Chrome-tracing document of the session's launch timeline (pid 1, with

@@ -458,23 +458,41 @@ let load_stats t =
   }
 
 let metrics_json t =
+  let module M = Hector_obs.Metrics in
   let s = load_stats t in
   let hist =
     s.batch_histogram
     |> List.map (fun (size, count) -> Printf.sprintf "\"%d\":%d" size count)
     |> String.concat ","
   in
-  Printf.sprintf
-    "{\"requests\":%d,\"served\":%d,\"shed\":%d,\"batches\":%d,\"mean_batch\":%.3f,\
-     \"throughput_rps\":%.3f,\"latency_ms\":{\"p50\":%.4f,\"p95\":%.4f,\"p99\":%.4f,\
-     \"mean\":%.4f},\"queue_ms\":{\"mean\":%.4f},\"batch_hist\":{%s},\
-     \"plan_cache\":{\"hits\":%d,\"misses\":%d},\"launches\":%d,\
-     \"launches_per_request\":%.3f,\"alloc_count\":%d,\"sim_elapsed_ms\":%.4f}"
-    s.requests s.lserved s.lshed s.lbatches s.mean_batch s.throughput_rps s.p50_ms
-    s.p95_ms s.p99_ms s.mean_latency_ms s.mean_queue_ms hist (Plan_cache.hits t.cache)
-    (Plan_cache.misses t.cache) (launches t) s.launches_per_request
-    (Memory.alloc_count (Engine.memory t.engine))
-    t.sim_ms
+  let st = Engine.stats t.engine in
+  M.envelope ~subsystem:"serve" ~elapsed_ms:t.sim_ms ~launches:(launches t)
+    [
+      M.comm ~posted_ms:(Engine.posted_comm_ms t.engine)
+        ~exposed_ms:(Stats.of_category st Kernel.Comm).Stats.time_ms;
+      M.int "requests" s.requests;
+      M.int "served" s.lserved;
+      M.int "shed" s.lshed;
+      M.int "batches" s.lbatches;
+      M.float "mean_batch" s.mean_batch;
+      M.float "throughput_rps" s.throughput_rps;
+      M.raw "latency_ms"
+        (M.obj
+           [
+             M.float "p50" s.p50_ms;
+             M.float "p95" s.p95_ms;
+             M.float "p99" s.p99_ms;
+             M.float "mean" s.mean_latency_ms;
+           ]);
+      M.raw "queue_ms" (M.obj [ M.float "mean" s.mean_queue_ms ]);
+      M.raw "batch_hist" ("{" ^ hist ^ "}");
+      M.raw "plan_cache"
+        (M.obj
+           [ M.int "hits" (Plan_cache.hits t.cache); M.int "misses" (Plan_cache.misses t.cache) ]);
+      M.float "launches_per_request" s.launches_per_request;
+      M.int "alloc_count" (Memory.alloc_count (Engine.memory t.engine));
+      M.float "sim_elapsed_ms" t.sim_ms;
+    ]
 
 let engine t = t.engine
 let plan_cache t = t.cache

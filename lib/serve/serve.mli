@@ -120,11 +120,13 @@ val load_stats : t -> load_stats
     {!metrics_json} serializes). *)
 
 val metrics_json : t -> string
-(** Single-line JSON load report accumulated over all [serve] calls:
-    request/served/shed/batch counts, mean batch size, throughput (req/s),
-    latency p50/p95/p99/mean, mean queue wait, batch-size histogram, plan
-    cache hits/misses, kernel launches (total and per served request),
-    allocator [alloc_count] and accumulated simulated time. *)
+(** Single-line JSON load report accumulated over all [serve] calls, in
+    the shared {!Hector_obs.Metrics} envelope (["subsystem"],
+    ["elapsed_ms"], ["launches"], ["comm"]): request/served/shed/batch
+    counts, mean batch size, throughput (req/s), latency p50/p95/p99/mean,
+    mean queue wait, batch-size histogram, plan cache hits/misses, kernel
+    launches per served request, allocator [alloc_count] and accumulated
+    simulated time. *)
 
 val exact_fanout : Hector_graph.Hetgraph.t -> int
 (** The smallest fanout that keeps every incoming edge of any node — with

@@ -181,12 +181,13 @@ let test_partition_validation () =
 (* --- interconnect cost model ------------------------------------------ *)
 
 let test_comms_cost_model () =
-  let c = Comms.create ~latency_us:10.0 ~bandwidth_gbs:10.0 () in
+  let c = Comms.create ~latency_us:10.0 ~bandwidth_gbs:10.0 ~channels:2 () in
   (* 10 us latency + 1 MB over 10 GB/s = 0.01 + 0.1 ms *)
   let ms = Comms.transfer_ms c ~bytes:1e6 in
   check_bool (Printf.sprintf "latency+bandwidth (%.4f)" ms) true (abs_float (ms -. 0.11) < 1e-9);
   let engine = Engine.create () in
-  Comms.charge c engine ~op:"halo_exchange" ~messages:2 ~bytes:1e6;
+  (* the deprecated blocking shim keeps the historic semantics *)
+  (Comms.charge [@alert "-deprecated"]) c engine ~op:"halo_exchange" ~messages:2 ~bytes:1e6;
   let st = Engine.stats engine in
   check_int "one comm launch" 1 (Stats.of_op st "halo_exchange").Stats.launches;
   check_bool "comm category charged" true
@@ -196,25 +197,111 @@ let test_comms_cost_model () =
   check_bool "attribution covers the clock" true
     (abs_float (Stats.attributed_ms st -. Engine.elapsed_ms engine) < 1e-9)
 
+(* equivalence pin for the API redesign: the deprecated blocking charge is
+   exactly a post on channel 0 followed by an immediate wait — same clock,
+   same launch count, same per-op and per-category attribution *)
+let test_charge_equals_post_wait () =
+  let c = Comms.create ~latency_us:10.0 ~bandwidth_gbs:10.0 ~channels:4 () in
+  let old_engine = Engine.create () and new_engine = Engine.create () in
+  let transfers = [ (2, 1e6); (1, 4e5); (3, 0.0); (0, 5e5) ] in
+  List.iter
+    (fun (messages, bytes) ->
+      (Comms.charge [@alert "-deprecated"]) c old_engine ~op:"halo_exchange" ~messages ~bytes;
+      Comms.wait (Comms.post c new_engine ~chan:0 ~op:"halo_exchange" ~messages ~bytes))
+    transfers;
+  check_bool "clocks identical" true
+    (abs_float (Engine.elapsed_ms old_engine -. Engine.elapsed_ms new_engine) < 1e-12);
+  let ost = Engine.stats old_engine and nst = Engine.stats new_engine in
+  check_int "same launch count" (Stats.of_op ost "halo_exchange").Stats.launches
+    (Stats.of_op nst "halo_exchange").Stats.launches;
+  check_bool "same per-op time" true
+    (abs_float
+       ((Stats.of_op ost "halo_exchange").Stats.time_ms
+       -. (Stats.of_op nst "halo_exchange").Stats.time_ms)
+    < 1e-12);
+  check_bool "same Comm-category time" true
+    (abs_float
+       ((Stats.of_category ost Kernel.Comm).Stats.time_ms
+       -. (Stats.of_category nst Kernel.Comm).Stats.time_ms)
+    < 1e-12);
+  check_bool "both clocks fully attributed" true
+    (abs_float (Stats.attributed_ms nst -. Engine.elapsed_ms new_engine) < 1e-9)
+
+(* transfers on distinct channels run concurrently: two 0.101 ms posts at
+   clock 0 expose only 0.101 ms, and a third post folded back onto channel
+   0 queues behind the first *)
+let test_post_channels_overlap () =
+  let c = Comms.create ~latency_us:10.0 ~bandwidth_gbs:10.0 ~channels:2 () in
+  let engine = Engine.create () in
+  let h0 = Comms.post c engine ~chan:0 ~op:"a" ~messages:1 ~bytes:1e6 in
+  let h1 = Comms.post c engine ~chan:1 ~op:"b" ~messages:1 ~bytes:1e6 in
+  let h2 = Comms.post c engine ~chan:2 ~op:"c" ~messages:1 ~bytes:1e6 in
+  check_bool "parallel channels complete together" true
+    (abs_float (Comms.completion_ms h0 -. Comms.completion_ms h1) < 1e-12);
+  check_bool "chan 2 folds onto channel 0 and queues" true
+    (abs_float (Comms.completion_ms h2 -. (2.0 *. Comms.completion_ms h0)) < 1e-12);
+  Comms.wait h0;
+  Comms.wait h1;
+  check_bool "two overlapped transfers expose one duration" true
+    (abs_float (Engine.elapsed_ms engine -. 0.11) < 1e-9);
+  Comms.wait h2;
+  check_bool "queued transfer exposes its remainder" true
+    (abs_float (Engine.elapsed_ms engine -. 0.22) < 1e-9);
+  check_bool "posted time counts every transfer" true
+    (abs_float (Engine.posted_comm_ms engine -. 0.33) < 1e-9);
+  check_bool "attribution still covers the clock" true
+    (abs_float (Stats.attributed_ms (Engine.stats engine) -. Engine.elapsed_ms engine) < 1e-9)
+
+(* chrome-trace witness: a posted Comm span and a compute span occupy
+   overlapping simulated intervals, on different tracks *)
+let test_trace_concurrent_comm_span () =
+  let c = Comms.create ~latency_us:100.0 ~bandwidth_gbs:1.0 () in
+  let engine = Engine.create ~trace:true () in
+  let h = Comms.post c engine ~chan:0 ~op:"halo_exchange" ~messages:1 ~bytes:1e7 in
+  Engine.launch engine
+    (Kernel.make ~name:"gemm" ~category:Kernel.Gemm ~grid_blocks:4096 ~threads_per_block:256
+       ~flops:1e9 ~bytes_coalesced:1e6 ());
+  Comms.wait h;
+  let events = Engine.events engine in
+  let comm = List.find (fun (e : Engine.event) -> e.Engine.chan <> None) events in
+  let compute = List.find (fun (e : Engine.event) -> e.Engine.chan = None) events in
+  check_bool "comm and compute spans overlap in simulated time" true
+    (comm.Engine.start_ms < compute.Engine.start_ms +. compute.Engine.duration_ms
+    && compute.Engine.start_ms < comm.Engine.start_ms +. comm.Engine.duration_ms);
+  let trace = Engine.to_chrome_trace engine in
+  check_bool "transfer renders on its own channel track" true (contains trace "\"tid\":2");
+  check_bool "compute renders on the compute track" true (contains trace "\"tid\":1")
+
 let test_dist_knobs () =
   let env = function
     | "HECTOR_DIST_PARTS" -> Some "4"
     | "HECTOR_DIST_LATENCY_US" -> Some "2.5"
     | "HECTOR_DIST_BW_GBS" -> Some "100"
+    | "HECTOR_DIST_CHANNELS" -> Some "4"
+    | "HECTOR_DIST_BUCKET_KB" -> Some "128"
+    | "HECTOR_DIST_PIPELINE" -> Some "2"
     | _ -> None
   in
   let k = Knobs.parse env in
   check_bool "parts knob" true (k.Knobs.dist_parts = Some 4);
   check_bool "latency knob" true (k.Knobs.dist_latency_us = Some 2.5);
   check_bool "bandwidth knob" true (k.Knobs.dist_bandwidth_gbs = Some 100.0);
+  check_bool "channels knob" true (k.Knobs.dist_channels = Some 4);
+  check_bool "bucket knob" true (k.Knobs.dist_bucket_kb = Some 128);
+  check_bool "pipeline knob" true (k.Knobs.dist_pipeline = Some 2);
   let bad =
     Knobs.parse (function
       | "HECTOR_DIST_PARTS" -> Some "zero"
       | "HECTOR_DIST_LATENCY_US" -> Some "-3"
+      | "HECTOR_DIST_CHANNELS" -> Some "0"
+      | "HECTOR_DIST_BUCKET_KB" -> Some "-1"
+      | "HECTOR_DIST_PIPELINE" -> Some "none"
       | _ -> None)
   in
   check_bool "invalid knobs ignored" true
-    (bad.Knobs.dist_parts = None && bad.Knobs.dist_latency_us = None)
+    (bad.Knobs.dist_parts = None && bad.Knobs.dist_latency_us = None
+    && bad.Knobs.dist_channels = None && bad.Knobs.dist_bucket_kb = None
+    && bad.Knobs.dist_pipeline = None)
 
 (* --- exactness: partitioned == single-replica -------------------------- *)
 
@@ -372,13 +459,182 @@ let test_single_partition_has_no_comm () =
   ignore (Replica.forward cluster);
   check_bool "no comm at one partition" true (Replica.comm_ms cluster = 0.0)
 
+(* --- the Config record and legacy labels -------------------------------- *)
+
+let test_replica_config () =
+  let d = Replica.Config.default in
+  check_bool "default parts knob-driven" true (d.Replica.Config.parts = None);
+  check_bool "default overlap on" true d.Replica.Config.overlap;
+  check_bool "default pipeline knob-driven" true (d.Replica.Config.pipeline = None);
+  check_bool "default bucket knob-driven" true (d.Replica.Config.bucket_kb = None);
+  check_int "default seed" 1 d.Replica.Config.seed;
+  let graph = Lazy.force parent in
+  let features = features_of graph 6 in
+  let compiled = compile_model "rgcn" in
+  let cfg =
+    {
+      Replica.Config.default with
+      Replica.Config.parts = Some 3;
+      comms = Some quiet_comms;
+      overlap = false;
+      pipeline = Some 2;
+    }
+  in
+  let cluster = Replica.create ~config:cfg ~features ~graph [ compiled ] in
+  check_int "config parts honored" 3 (Replica.parts cluster);
+  check_bool "config overlap honored" false (Replica.overlap cluster);
+  (* pipeline only takes effect with overlap on; depth is still resolved *)
+  check_int "config pipeline resolved" 2 (Replica.pipeline_depth cluster);
+  (* a legacy label overrides the corresponding config field *)
+  let overridden = Replica.create ~config:cfg ~parts:2 ~features ~graph [ compiled ] in
+  check_int "legacy label overrides config" 2 (Replica.parts overridden);
+  check_bool "default config overlaps" true
+    (Replica.overlap (Replica.create ~parts:2 ~comms:quiet_comms ~features ~graph [ compiled ]))
+
+(* --- overlapped / pipelined == BSP -------------------------------------- *)
+
+let make_cluster ~model ~parts ~overlap ~pipeline ~bucket_kb ~features ~graph =
+  let compiled = compile_model ~training:true model in
+  let cfg =
+    {
+      Replica.Config.default with
+      Replica.Config.parts = Some parts;
+      comms = Some quiet_comms;
+      overlap;
+      pipeline = Some pipeline;
+      bucket_kb = Some bucket_kb;
+    }
+  in
+  Replica.create ~config:cfg ~features ~graph [ compiled ]
+
+let prop_overlap_equals_bsp =
+  QCheck.Test.make ~name:"overlapped/pipelined training == BSP to 1e-6" ~count:8
+    QCheck.(
+      make
+        Gen.(
+          quad (int_range 0 1) (* model *)
+            (int_range 0 2) (* parts index *)
+            (int_range 1 3) (* pipeline depth *)
+            (int_range 0 2) (* bucket index *)))
+    (fun (model_i, parts_i, pipeline, bucket_i) ->
+      let model = [| "rgcn"; "rgat" |].(model_i) in
+      let parts = [| 1; 2; 4 |].(parts_i) in
+      let bucket_kb = [| 1; 4; 64 |].(bucket_i) in
+      let graph = Lazy.force parent in
+      let features = features_of graph 6 in
+      let labels = labels_of graph 4 in
+      let ov =
+        make_cluster ~model ~parts ~overlap:true ~pipeline ~bucket_kb ~features ~graph
+      in
+      let bsp =
+        make_cluster ~model ~parts ~overlap:false ~pipeline:1 ~bucket_kb:64 ~features ~graph
+      in
+      let losses_close = ref true in
+      for _ = 1 to 2 do
+        let lo = Replica.train_step ov ~lr:0.05 ~labels () in
+        let lb = Replica.train_step bsp ~lr:0.05 ~labels () in
+        if abs_float (lo -. lb) > 1e-6 then losses_close := false
+      done;
+      !losses_close
+      && max_weight_diff (Replica.weights_of ov 0) (Replica.weights_of bsp 0) <= 1e-6)
+
+(* --- overlap actually hides transfer time ------------------------------- *)
+
+let comm_ratio ~overlap ~pipeline =
+  let graph = Lazy.force parent in
+  let features = features_of graph 6 in
+  let labels = labels_of graph 4 in
+  let cluster =
+    make_cluster ~model:"rgcn" ~parts:4 ~overlap ~pipeline ~bucket_kb:64 ~features ~graph
+  in
+  ignore (Replica.train_step cluster ~labels ());
+  Replica.reset_clocks cluster;
+  for _ = 1 to 3 do
+    ignore (Replica.train_step cluster ~labels ())
+  done;
+  (Replica.comm_ms cluster /. Replica.busy_ms cluster, cluster)
+
+let test_overlap_reduces_comm_ratio () =
+  let bsp_ratio, _ = comm_ratio ~overlap:false ~pipeline:1 in
+  let ov_ratio, ov = comm_ratio ~overlap:true ~pipeline:1 in
+  check_bool
+    (Printf.sprintf "overlap lowers the comm ratio (%.4f < %.4f)" ov_ratio bsp_ratio)
+    true (ov_ratio < bsp_ratio);
+  (* the hidden time is visible as posted - exposed *)
+  check_bool "overlapped cluster hides transfer time" true
+    (Replica.posted_comm_ms ov > Replica.comm_ms ov)
+
+(* --- shared metrics envelope across subsystems -------------------------- *)
+
+let test_metrics_schema_uniform () =
+  let envelope_keys = [ "\"subsystem\""; "\"elapsed_ms\""; "\"launches\""; "\"comm\""; "\"overlap_ratio\"" ] in
+  let assert_envelope name json =
+    List.iter
+      (fun key ->
+        check_bool (Printf.sprintf "%s metrics has %s" name key) true (contains json key))
+      envelope_keys
+  in
+  let graph = Lazy.force parent in
+  let features = features_of graph 6 in
+  let labels = labels_of graph 4 in
+  (* dist *)
+  let cluster =
+    make_cluster ~model:"rgcn" ~parts:2 ~overlap:true ~pipeline:1 ~bucket_kb:64 ~features
+      ~graph
+  in
+  ignore (Replica.train_step cluster ~labels ());
+  assert_envelope "dist" (Replica.metrics_json cluster);
+  check_bool "dist subsystem tag" true
+    (contains (Replica.metrics_json cluster) "\"subsystem\":\"dist\"");
+  (* session *)
+  let compiled = compile_model "rgcn" in
+  let cfg =
+    { Session.Config.default with Session.Config.node_inputs = [ ("h", features) ] }
+  in
+  let session = Session.create ~config:cfg ~graph compiled in
+  ignore (Session.forward session);
+  assert_envelope "session" (Session.metrics_json session);
+  check_bool "session subsystem tag" true
+    (contains (Session.metrics_json session) "\"subsystem\":\"session\"");
+  (* serve *)
+  let module Serve = Hector_serve.Serve in
+  let module Workload = Hector_serve.Workload in
+  let sconfig =
+    {
+      Serve.default_config with
+      Serve.fanout = Serve.exact_fanout graph;
+      hops = 2;
+      max_batch = Some 4;
+      max_wait_ms = 5.0;
+      queue_capacity = Some 64;
+    }
+  in
+  let server =
+    Serve.create ~config:sconfig ~graph (Hector_models.Model_defs.rgcn ~in_dim:8 ~out_dim:4 ())
+  in
+  let requests =
+    Workload.generate
+      ~spec:{ Workload.default_spec with Workload.requests = 8; seeds_per_request = 2 }
+      ~num_nodes:graph.G.num_nodes ()
+  in
+  ignore (Serve.serve server requests);
+  assert_envelope "serve" (Serve.metrics_json server);
+  check_bool "serve subsystem tag" true
+    (contains (Serve.metrics_json server) "\"subsystem\":\"serve\"")
+
 let suite =
   [
     Alcotest.test_case "partition covers the graph" `Quick test_partition_covers_graph;
     Alcotest.test_case "partition halo maps" `Quick test_partition_halo_maps;
     Alcotest.test_case "partition validation" `Quick test_partition_validation;
     Alcotest.test_case "comms cost model" `Quick test_comms_cost_model;
+    Alcotest.test_case "charge == post + wait on channel 0" `Quick test_charge_equals_post_wait;
+    Alcotest.test_case "channels overlap transfers" `Quick test_post_channels_overlap;
+    Alcotest.test_case "trace shows concurrent comm span" `Quick test_trace_concurrent_comm_span;
     Alcotest.test_case "HECTOR_DIST_* knobs" `Quick test_dist_knobs;
+    Alcotest.test_case "Replica.Config record" `Quick test_replica_config;
+    Alcotest.test_case "overlap lowers the comm ratio" `Quick test_overlap_reduces_comm_ratio;
+    Alcotest.test_case "shared metrics envelope" `Quick test_metrics_schema_uniform;
     Alcotest.test_case "rgcn forward exact at 1/2/4" `Quick
       (test_forward_exact "rgcn" ~compact:false ~fusion:false);
     Alcotest.test_case "rgat forward exact at 1/2/4" `Quick
@@ -392,6 +648,7 @@ let suite =
       test_steady_state_no_alloc;
     Alcotest.test_case "comm time fully attributed" `Quick test_comm_attributed;
     Alcotest.test_case "one partition, no comm" `Quick test_single_partition_has_no_comm;
+    QCheck_alcotest.to_alcotest prop_overlap_equals_bsp;
     QCheck_alcotest.to_alcotest prop_partition_every_edge_once;
     QCheck_alcotest.to_alcotest prop_partition_halo_complete;
     QCheck_alcotest.to_alcotest prop_partition_balance;
