@@ -700,6 +700,165 @@ let run_dist ~json ~check ~tolerance () =
       if not (check_regressions ~baseline ~tolerance results) then exit 1
   | _ -> ()
 
+(* --- streaming benchmark (--stream) --------------------------------
+
+   One deterministic mixed read/write run: the serving trace of --serve
+   interleaved with churn-balanced delta batches applied at micro-batch
+   boundaries over a Mutable_graph with 200% capacity slack, so the whole
+   trace stays in-slack — the regime the subsystem is designed to keep
+   free.  Gated
+   entries are "larger = worse": p99 latency under mutation, inverse
+   serving throughput, update cost per 1k delta ops, and — the hard
+   invariant — recompiles per 1k deltas, which rides the integer
+   "launches" field so --check pins it one-sided at ZERO: any in-slack
+   delta that re-plans or re-allocates fails the gate outright. *)
+
+module Mg = Hector_stream.Mutable_graph
+module Delta = Hector_stream.Delta
+module Ss = Hector_stream.Stream_serve
+
+let run_stream ~json ~check ~tolerance () =
+  let baseline = Option.map read_baseline check in
+  let graph =
+    Hector_graph.Generator.generate
+      {
+        Hector_graph.Generator.name = "stream_bench";
+        num_ntypes = 3;
+        num_etypes = 8;
+        num_nodes = 400;
+        num_edges = 1600;
+        compaction_target = 0.4;
+        scale = 1.0;
+        seed = 17;
+      }
+  in
+  let in_dim = 32 in
+  let features =
+    Hector_tensor.Tensor.randn (Hector_tensor.Rng.create 5)
+      [| graph.Hector_graph.Hetgraph.num_nodes; in_dim |]
+  in
+  let mg = Mg.create ~name:"stream_bench" ~slack:2.0 ~graph ~features () in
+  let program = Hector_models.Model_defs.rgcn ~in_dim ~out_dim:16 () in
+  let config =
+    {
+      Serve.default_config with
+      Serve.fanout = 6;
+      hops = 2;
+      max_batch = Some 8;
+      max_wait_ms = 5.0;
+      queue_capacity = Some 128;
+    }
+  in
+  let server = Ss.create ~config ~mg program in
+  let requests =
+    Workload.generate
+      ~spec:
+        {
+          Workload.seed = 42;
+          rate_rps = 1500.0;
+          requests = 96;
+          seeds_per_request = 4;
+        }
+      ~num_nodes:graph.Hector_graph.Hetgraph.num_nodes ()
+  in
+  let num_deltas = 12 and delta_ops = 25 in
+  let n = Array.length requests in
+  (* num_deltas + 1 serving segments with one delta batch at each interior
+     boundary, generated against the *current* live view so every op is
+     feasible by construction *)
+  for k = 0 to num_deltas do
+    let lo = k * n / (num_deltas + 1) in
+    let hi = (k + 1) * n / (num_deltas + 1) in
+    ignore (Ss.serve server (Array.sub requests lo (hi - lo)));
+    if k < num_deltas then begin
+      (* churn-balanced mix: inserts and removals at matched rates, so live
+         counts hover around the epoch-0 sizes and the trace stays in-slack *)
+      let mix =
+        {
+          Delta.add_node = 0.06;
+          remove_node = 0.06;
+          add_edge = 0.22;
+          remove_edge = 0.22;
+          set_feat = 0.44;
+        }
+      in
+      let d =
+        Delta.generate ~mix ~view:(Mg.view mg) ~seed:(1000 + k) ~ops:delta_ops ()
+      in
+      match Ss.apply server d with
+      | Ok _ -> ()
+      | Error msg ->
+          Printf.eprintf "bench/main.exe: stream delta %d rejected: %s\n" k msg;
+          exit 1
+    end
+  done;
+  let c = Mg.counters mg in
+  let s = Serve.load_stats (Ss.replica server) in
+  let ms_per_request =
+    if s.Serve.throughput_rps > 0.0 then 1000.0 /. s.Serve.throughput_rps else 0.0
+  in
+  let total_ops = c.Mg.ops in
+  let update_ms_per_kop =
+    if total_ops > 0 then Ss.update_ms server *. 1000.0 /. float_of_int total_ops
+    else 0.0
+  in
+  (* after warmup the plan cache holds exactly one compile; anything past
+     it is an in-slack invalidation bug *)
+  let excess_recompiles = Ss.recompiles server - 1 in
+  let recompiles_per_1k =
+    if c.Mg.deltas > 0 then
+      float_of_int excess_recompiles *. 1000.0 /. float_of_int c.Mg.deltas
+    else 0.0
+  in
+  Printf.printf
+    "Streaming benchmark (simulated clock, %d requests / %d deltas x %d ops):\n\
+    \  served %d, shed %d, rejected %d   deltas %d (%d ops, %d rejected)\n\
+    \  epochs %d, re-warms %d, recompiles %d (excess %d)\n\
+    \  CSR: %d rows patched, %d rebuilds, %d compactions\n\
+    \  latency p50 %.3f / p95 %.3f / p99 %.3f sim-ms   update %.3f sim-ms total\n"
+    n num_deltas delta_ops (Ss.served server) (Ss.shed server)
+    (Ss.rejected server) c.Mg.deltas c.Mg.ops c.Mg.rejected_deltas c.Mg.epochs
+    (Ss.rewarms server) (Ss.recompiles server) excess_recompiles
+    c.Mg.patched_rows c.Mg.rebuilds c.Mg.compacted s.Serve.p50_ms s.Serve.p95_ms
+    s.Serve.p99_ms (Ss.update_ms server);
+  let entries =
+    [
+      ("stream/p50", s.Serve.p50_ms, None);
+      ("stream/p99", s.Serve.p99_ms, None);
+      ("stream/ms_per_request", ms_per_request, None);
+      ("stream/update_ms_per_kop", update_ms_per_kop, None);
+      ("stream/recompiles_per_1k", recompiles_per_1k, Some excess_recompiles);
+    ]
+  in
+  if json then begin
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "{\n";
+    List.iter
+      (fun (name, v, launches) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  \"%s\": {\"sim_ms\": %.6f%s},\n" name v
+             (match launches with
+             | Some l -> Printf.sprintf ", \"launches\": %d" l
+             | None -> "")))
+      entries;
+    Buffer.add_string buf
+      (Printf.sprintf "  \"_meta\": %s\n}\n" (Ss.metrics_json server));
+    let oc = open_out "BENCH_stream.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "\nWrote BENCH_stream.json (%d entries + _meta)\n" (List.length entries)
+  end;
+  match (check, baseline) with
+  | Some _, Some baseline ->
+      let results =
+        List.map
+          (fun (name, v, launches) ->
+            (name, { ns = None; sim_ms = Some v; allocs = 0; copied = 0; launches }))
+          entries
+      in
+      if not (check_regressions ~baseline ~tolerance results) then exit 1
+  | _ -> ()
+
 (* --- CLI ---------------------------------------------------------- *)
 
 let usage () =
@@ -719,6 +878,10 @@ let usage () =
     \  --tune           run the autotuner benchmark instead: two-stage search\n\
     \                   per model-zoo entry, gating (one-sided, in-run) that\n\
     \                   the tuned config beats every fixed U/C/F/C+F config\n\
+    \  --stream         run the streaming benchmark instead: the serving trace\n\
+    \                   interleaved with delta batches over a mutating graph,\n\
+    \                   gating p99 under mutation, update cost per 1k ops and\n\
+    \                   (zero-tolerance) recompiles per 1k in-slack deltas\n\
     \  --json           with --micro: write BENCH_micro.json\n\
     \                   (name -> {ns, sim_ms, allocs, copied_bytes}, plus a\n\
     \                   \"_meta\" observability snapshot) and BENCH_trace.json\n\
@@ -728,11 +891,13 @@ let usage () =
     \                   with --dist: write BENCH_dist.json (sim-ms/epoch and\n\
     \                   comm/compute ratio per partition count);\n\
     \                   with --tune: write BENCH_tune.json (tuned and fixed\n\
-    \                   sim-ms per model + a \"_meta\" table of winners)\n\
-    \  --check FILE     with --micro/--serve/--dist: compare against a baseline\n\
-    \                   BENCH_micro.json / BENCH_serve.json / BENCH_dist.json;\n\
-    \                   exit 1 on any regression (launch counts gate one-sided\n\
-    \                   with zero tolerance: any increase fails)\n\
+    \                   sim-ms per model + a \"_meta\" table of winners);\n\
+    \                   with --stream: write BENCH_stream.json (p99 under\n\
+    \                   mutation, update cost, excess recompiles)\n\
+    \  --check FILE     with --micro/--serve/--dist/--stream: compare against\n\
+    \                   a committed BENCH_*.json baseline; exit 1 on any\n\
+    \                   regression (launch counts gate one-sided with zero\n\
+    \                   tolerance: any increase fails)\n\
     \  --tolerance T    with --check: allowed slowdown fraction\n\
     \                   before a result counts as a regression (default 0.25)\n\
     \  --no-fuse        disable the compiler's inter-op kernel-fusion pass\n\
@@ -752,7 +917,9 @@ let usage () =
     \  HECTOR_DIST_CHANNELS  concurrent transfer channels per engine (default 2)\n\
     \  HECTOR_DIST_BUCKET_KB gradient all-reduce bucket size in KiB (default 64)\n\
     \  HECTOR_DIST_PIPELINE  micro-batch pipeline depth (default 1 = off)\n\
-    \  HECTOR_TUNE_DB   persistent plan-tuning database path (JSON)\n"
+    \  HECTOR_TUNE_DB   persistent plan-tuning database path (JSON)\n\
+    \  HECTOR_STREAM_SLACK   capacity headroom per type for mutable graphs\n\
+    \  HECTOR_STREAM_COMPACT dead-slot fraction that triggers compaction\n"
 
 let cli_error fmt =
   Printf.ksprintf
@@ -767,6 +934,7 @@ type cli = {
   mutable serve : bool;
   mutable dist : bool;
   mutable tune : bool;
+  mutable stream : bool;
   mutable json : bool;
   mutable check : string option;
   mutable tolerance : float;
@@ -783,6 +951,7 @@ let parse_cli argv =
       serve = false;
       dist = false;
       tune = false;
+      stream = false;
       json = false;
       check = None;
       tolerance = 0.25;
@@ -817,6 +986,9 @@ let parse_cli argv =
         go rest
     | "--tune" :: rest ->
         cli.tune <- true;
+        go rest
+    | "--stream" :: rest ->
+        cli.stream <- true;
         go rest
     | "--json" :: rest ->
         cli.json <- true;
@@ -863,16 +1035,21 @@ let () =
      so every compilation below sees fusion off *)
   if cli.no_fuse then Hector_core.Compiler.set_fuse_ops_default (fun () -> false);
   if (if cli.micro then 1 else 0) + (if cli.serve then 1 else 0) + (if cli.dist then 1 else 0)
-     + (if cli.tune then 1 else 0) > 1
-  then cli_error "--micro, --serve, --dist and --tune are mutually exclusive";
-  if cli.json && not (cli.micro || cli.serve || cli.dist || cli.tune) then
-    cli_error "--json only makes sense together with --micro, --serve, --dist or --tune";
-  if cli.check <> None && not (cli.micro || cli.serve || cli.dist || cli.tune) then
-    cli_error "--check only makes sense together with --micro, --serve, --dist or --tune";
+     + (if cli.tune then 1 else 0) + (if cli.stream then 1 else 0) > 1
+  then cli_error "--micro, --serve, --dist, --tune and --stream are mutually exclusive";
+  if cli.json && not (cli.micro || cli.serve || cli.dist || cli.tune || cli.stream) then
+    cli_error
+      "--json only makes sense together with --micro, --serve, --dist, --tune or --stream";
+  if cli.check <> None && not (cli.micro || cli.serve || cli.dist || cli.tune || cli.stream)
+  then
+    cli_error
+      "--check only makes sense together with --micro, --serve, --dist, --tune or --stream";
   if cli.micro then run_micro ~json:cli.json ~check:cli.check ~tolerance:cli.tolerance ()
   else if cli.serve then run_serve ~json:cli.json ~check:cli.check ~tolerance:cli.tolerance ()
   else if cli.dist then run_dist ~json:cli.json ~check:cli.check ~tolerance:cli.tolerance ()
   else if cli.tune then run_tune ~json:cli.json ~check:cli.check ~tolerance:cli.tolerance ()
+  else if cli.stream then
+    run_stream ~json:cli.json ~check:cli.check ~tolerance:cli.tolerance ()
   else begin
     let t = H.create ~max_nodes:cli.max_nodes ~max_edges:cli.max_edges () in
     let selected =

@@ -4,6 +4,7 @@
      hector compile  -m rgat --compact --fusion        show plan + CUDA
      hector run      -m hgt -d fb15k --training        run on the simulator
      hector serve    -m rgcn -d aifb --rate 500        batched inference serving
+     hector stream   -m rgcn -d aifb --deltas 8         serving over a mutating graph
      hector partition -d am --parts 4                  typed-edge graph partitioning
      hector datasets                                   list dataset replicas
      hector baselines -m rgat -d am                    compare prior systems *)
@@ -233,6 +234,119 @@ let cmd_serve =
           $ seeds_arg $ batch_arg $ queue_arg $ wait_arg $ fanout_arg $ hops_arg $ seed_arg
           $ json_arg $ no_fuse_arg)
 
+let cmd_stream =
+  let module Delta = Hector_stream.Delta in
+  let module Mg = Hector_stream.Mutable_graph in
+  let module Ss = Hector_stream.Stream_serve in
+  let rate_arg =
+    Arg.(value & opt float 500.0
+         & info [ "rate" ] ~docv:"RPS" ~doc:"Open-loop arrival rate, requests per second.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 64 & info [ "requests" ] ~docv:"N" ~doc:"Number of requests to replay.")
+  in
+  let deltas_arg =
+    Arg.(value & opt int 8
+         & info [ "deltas" ] ~docv:"D"
+             ~doc:"Graph deltas interleaved with the trace, at evenly spaced micro-batch \
+                   boundaries.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 20
+         & info [ "delta-ops" ] ~docv:"K" ~doc:"Operations per delta (mixed read/write traffic).")
+  in
+  let slack_arg =
+    Arg.(value & opt (some float) None
+         & info [ "slack" ] ~docv:"S"
+             ~doc:"Capacity headroom per node/edge type (default: HECTOR_STREAM_SLACK knob, \
+                   else 0.5).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload and delta seed.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print only the JSON stream report.")
+  in
+  let run model dataset max_edges rate requests deltas delta_ops slack seed json no_fuse =
+    apply_no_fuse no_fuse;
+    if rate <= 0.0 then (
+      Printf.eprintf "hector stream: --rate must be positive\n";
+      exit 2);
+    if requests <= 0 then (
+      Printf.eprintf "hector stream: --requests must be positive\n";
+      exit 2);
+    if deltas < 0 || delta_ops < 0 then (
+      Printf.eprintf "hector stream: --deltas and --delta-ops must be non-negative\n";
+      exit 2);
+    (match slack with
+    | Some s when s < 0.0 ->
+        Printf.eprintf "hector stream: --slack must be non-negative\n";
+        exit 2
+    | _ -> ());
+    let graph = Ds.load ~max_edges (Ds.find dataset) in
+    let program = Hector_models.Model_defs.by_name model () in
+    let in_dim =
+      List.find_map
+        (function Hector_core.Inter_ir.Node_input { dim; _ } -> Some dim | _ -> None)
+        program.Hector_core.Inter_ir.decls
+      |> Option.value ~default:64
+    in
+    let features =
+      Hector_tensor.Tensor.randn (Hector_tensor.Rng.create seed)
+        [| graph.G.num_nodes; in_dim |]
+    in
+    let mg = Mg.create ~name:dataset ?slack ~graph ~features () in
+    let config = { Serve.default_config with Serve.model } in
+    let server = Ss.create ~config ~mg program in
+    let trace =
+      Workload.generate
+        ~spec:{ Workload.seed; rate_rps = rate; requests; seeds_per_request = 4 }
+        ~num_nodes:graph.G.num_nodes ()
+    in
+    (* serve the trace in D+1 segments; each boundary generates one delta
+       against the CURRENT live view and applies it before the next
+       segment — the mixed read/write loop of DESIGN.md *)
+    let boundaries = deltas + 1 in
+    for k = 0 to deltas do
+      let lo = k * requests / boundaries in
+      let hi = (k + 1) * requests / boundaries in
+      if hi > lo then ignore (Ss.serve server (Array.sub trace lo (hi - lo)));
+      if k < deltas then begin
+        let d =
+          Delta.generate ~view:(Mg.view mg) ~seed:((seed * 131) + k) ~ops:delta_ops ()
+        in
+        match Ss.apply server d with
+        | Ok _ -> ()
+        | Error msg -> Printf.eprintf "hector stream: delta %d rejected: %s\n" k msg
+      end
+    done;
+    if json then print_endline (Ss.metrics_json server)
+    else begin
+      let c = Mg.counters mg in
+      let replica = Ss.replica server in
+      let s = Serve.load_stats replica in
+      Printf.printf "applied %d deltas (%d ops): %d epoch bumps, %d re-warms, %d recompiles\n"
+        c.Mg.deltas c.Mg.ops c.Mg.epochs (Ss.rewarms server) (Ss.recompiles server);
+      Printf.printf "CSR: %d rows patched incrementally, %d full rebuilds, %d compactions\n"
+        c.Mg.patched_rows c.Mg.rebuilds c.Mg.compacted;
+      Printf.printf "graph now: %d nodes, %d edges (epoch %d, version %d)\n"
+        (Mg.live_nodes mg) (Mg.live_edges mg) (Mg.epoch mg) (Mg.version mg);
+      Printf.printf "update cost: %.3f sim-ms (%.4f ms/delta)\n" (Ss.update_ms server)
+        (if c.Mg.deltas = 0 then 0.0 else Ss.update_ms server /. float_of_int c.Mg.deltas);
+      Printf.printf "served %d requests (%d shed, %d rejected); latency p50 %.3f p99 %.3f sim-ms\n"
+        (Ss.served server) (Ss.shed server) (Ss.rejected server) s.Serve.p50_ms s.Serve.p99_ms
+    end
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Serve live traffic over a mutating dataset replica: interleave generated graph \
+          deltas (node/edge churn + feature updates) with an open-loop request trace.  \
+          In-slack deltas recompile and reallocate nothing (HECTOR_STREAM_SLACK headroom); \
+          overflowing a capacity epoch re-warms the replica with pinned weights.")
+    Term.(const run $ model_arg $ dataset_arg $ max_edges_arg $ rate_arg $ requests_arg
+          $ deltas_arg $ ops_arg $ slack_arg $ seed_arg $ json_arg $ no_fuse_arg)
+
 let cmd_partition =
   let parts_arg =
     Arg.(value & opt int 2
@@ -337,5 +451,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ cmd_compile; cmd_run; cmd_serve; cmd_partition; cmd_datasets; cmd_baselines;
-            cmd_autotune ]))
+          [ cmd_compile; cmd_run; cmd_serve; cmd_stream; cmd_partition; cmd_datasets;
+            cmd_baselines; cmd_autotune ]))

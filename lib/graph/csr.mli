@@ -22,6 +22,20 @@ val outgoing : Hetgraph.t -> t
 (** [outgoing g] has one row per node [v] listing the {e destinations} of
     edges whose source is [v]. *)
 
+val patch_incoming :
+  t -> old_graph:Hetgraph.t -> graph:Hetgraph.t -> edge_map:int array -> t * int
+(** [patch_incoming old ~old_graph ~graph ~edge_map] maintains an incoming
+    CSR incrementally across an edge-only mutation ({!Hector_stream}'s
+    in-slack delta path): [old] must be [incoming old_graph], [graph] the
+    mutated graph with the {e same} node set, and [edge_map] the old→new
+    edge-id map ([-1] for removed edges; surviving entries strictly
+    increasing, as produced by tombstone-compacting per-type edge
+    segments).  Rows whose incoming edge set changed are regathered from
+    [graph]; all other rows are copied with eids renumbered.  Returns the
+    patched CSR (structurally equal to [incoming graph]) and the number of
+    rows regathered.  Raises [Invalid_argument] if the node counts differ
+    or [edge_map] is not monotone. *)
+
 val degree : t -> int -> int
 (** Row length. *)
 

@@ -104,6 +104,9 @@ let in_degrees_by_rel g =
 
 type induced = { sub : t; origin_node : int array; origin_edge : int array }
 
+(* Local early-exit channel for [induce_result]; never escapes this file. *)
+exception Induce_error of string
+
 (* The renumbering shared by the sampler and the partitioner: given the
    parent ids of the member nodes and edges, produce a self-contained
    subgraph upholding every [create] invariant, plus the origin maps.
@@ -111,44 +114,53 @@ type induced = { sub : t; origin_node : int array; origin_edge : int array }
    invariant holds and the order is deterministic; edges keep the caller's
    order within each type ([create]'s sort is stable), so the caller's
    origin map survives the construction. *)
+let induce_result ?name g ~nodes ~edges =
+  let fail fmt = Printf.ksprintf (fun msg -> raise (Induce_error msg)) fmt in
+  try
+    let sub_name = match name with Some n -> n | None -> g.name ^ "_sub" in
+    let origin_node = Array.copy nodes in
+    Array.iter
+      (fun v ->
+        if v < 0 || v >= g.num_nodes then
+          fail "Hetgraph.induce: node %d out of range (graph has %d nodes)" v g.num_nodes)
+      origin_node;
+    Array.sort (fun a b -> compare (g.node_type.(a), a) (g.node_type.(b), b)) origin_node;
+    Array.iteri
+      (fun i v ->
+        if i > 0 && v = origin_node.(i - 1) then
+          fail "Hetgraph.induce: duplicate node %d" v)
+      origin_node;
+    let new_id = Hashtbl.create (Array.length origin_node) in
+    Array.iteri (fun i v -> Hashtbl.replace new_id v i) origin_node;
+    let node_type = Array.map (fun v -> g.node_type.(v)) origin_node in
+    let origin_edge = Array.copy edges in
+    Array.stable_sort (fun a b -> compare g.etype.(a) g.etype.(b)) origin_edge;
+    let local v =
+      match Hashtbl.find_opt new_id v with
+      | Some i -> i
+      | None -> fail "Hetgraph.induce: edge endpoint %d is not a member node" v
+    in
+    let triples =
+      Array.map
+        (fun eid ->
+          if eid < 0 || eid >= g.num_edges then
+            fail "Hetgraph.induce: edge %d out of range (graph has %d edges)" eid
+              g.num_edges;
+          (local g.src.(eid), local g.dst.(eid), g.etype.(eid)))
+        origin_edge
+    in
+    let sub =
+      create ~name:sub_name ~metagraph:g.metagraph ~node_type ~edges:triples ()
+    in
+    Ok { sub; origin_node; origin_edge }
+  with
+  | Induce_error msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
 let induce ?name g ~nodes ~edges =
-  let sub_name = match name with Some n -> n | None -> g.name ^ "_sub" in
-  let origin_node = Array.copy nodes in
-  Array.iter
-    (fun v ->
-      if v < 0 || v >= g.num_nodes then
-        invalid_arg (Printf.sprintf "Hetgraph.induce: node %d out of range" v))
-    origin_node;
-  Array.sort (fun a b -> compare (g.node_type.(a), a) (g.node_type.(b), b)) origin_node;
-  Array.iteri
-    (fun i v ->
-      if i > 0 && v = origin_node.(i - 1) then
-        invalid_arg (Printf.sprintf "Hetgraph.induce: duplicate node %d" v))
-    origin_node;
-  let new_id = Hashtbl.create (Array.length origin_node) in
-  Array.iteri (fun i v -> Hashtbl.replace new_id v i) origin_node;
-  let node_type = Array.map (fun v -> g.node_type.(v)) origin_node in
-  let origin_edge = Array.copy edges in
-  Array.stable_sort (fun a b -> compare g.etype.(a) g.etype.(b)) origin_edge;
-  let local v =
-    match Hashtbl.find_opt new_id v with
-    | Some i -> i
-    | None ->
-        invalid_arg
-          (Printf.sprintf "Hetgraph.induce: edge endpoint %d is not a member node" v)
-  in
-  let triples =
-    Array.map
-      (fun eid ->
-        if eid < 0 || eid >= g.num_edges then
-          invalid_arg (Printf.sprintf "Hetgraph.induce: edge %d out of range" eid);
-        (local g.src.(eid), local g.dst.(eid), g.etype.(eid)))
-      origin_edge
-  in
-  let sub =
-    create ~name:sub_name ~metagraph:g.metagraph ~node_type ~edges:triples ()
-  in
-  { sub; origin_node; origin_edge }
+  match induce_result ?name g ~nodes ~edges with
+  | Ok r -> r
+  | Error msg -> invalid_arg msg
 
 let pp fmt g =
   Format.fprintf fmt "%s: %d ntypes, %d etypes, %d nodes, %d edges (scale %.0f -> %d/%d logical)"

@@ -80,16 +80,25 @@ type induced = {
 }
 (** An induced subgraph with its maps back into the parent. *)
 
-val induce : ?name:string -> t -> nodes:int array -> edges:int array -> induced
-(** [induce g ~nodes ~edges] renumbers the given member nodes and edges
-    into a self-contained subgraph upholding every {!create} invariant —
-    the extraction shared by the neighborhood sampler and the graph
-    partitioner.  [nodes] are distinct parent node ids in any order (the
-    subgraph orders them by (type, parent id), so the construction is
+val induce_result :
+  ?name:string -> t -> nodes:int array -> edges:int array -> (induced, string) result
+(** [induce_result g ~nodes ~edges] renumbers the given member nodes and
+    edges into a self-contained subgraph upholding every {!create}
+    invariant — the extraction shared by the neighborhood sampler and the
+    graph partitioner.  [nodes] are distinct parent node ids in any order
+    (the subgraph orders them by (type, parent id), so the construction is
     deterministic); [edges] are parent edge ids whose endpoints must all be
     members (their relative order within each edge type is preserved in
-    [origin_edge]).  Raises [Invalid_argument] on duplicates, out-of-range
-    ids, or an edge endpoint outside [nodes]. *)
+    [origin_edge]).  Invalid member sets — duplicates, out-of-range ids
+    (e.g. a seed referencing a node removed by a {!Hector_stream} delta),
+    or an edge endpoint outside [nodes] — return [Error msg] with a stable
+    human-readable message instead of raising, so callers holding ids that
+    may have gone stale under mutation get an error channel, not an
+    exception. *)
+
+val induce : ?name:string -> t -> nodes:int array -> edges:int array -> induced
+(** {!induce_result}, raising [Invalid_argument] on [Error] — for callers
+    whose member sets are correct by construction (the partitioner). *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line summary printer. *)

@@ -7,78 +7,113 @@ type subgraph = {
   seed_nodes : int array;
 }
 
-let sample ?(seed = 0) ~(graph : Hetgraph.t) ~seeds ~fanout ~hops () =
-  if Array.length seeds = 0 then invalid_arg "Sampler.sample: empty seed set";
-  if fanout <= 0 || hops <= 0 then invalid_arg "Sampler.sample: fanout and hops must be positive";
-  Array.iter
-    (fun v ->
-      if v < 0 || v >= graph.Hetgraph.num_nodes then
-        invalid_arg (Printf.sprintf "Sampler.sample: seed %d out of range" v))
-    seeds;
-  let rng = Rng.create seed in
-  let csr = Csr.incoming graph in
-  let in_block = Hashtbl.create (Array.length seeds * 4) in
-  let edges = ref [] (* parent edge ids, newest first *) in
-  Array.iter (fun v -> Hashtbl.replace in_block v ()) seeds;
-  let frontier = ref (Array.to_list seeds) in
-  for _ = 1 to hops do
-    let next = ref [] in
-    List.iter
+(* [csr] lets a serving replica reuse one prebuilt incoming CSR across
+   every batch (and, under streaming, an incrementally patched one) instead
+   of rebuilding it per call; it must be [Csr.incoming graph]. *)
+let sample_result ?(seed = 0) ?csr ~(graph : Hetgraph.t) ~seeds ~fanout ~hops () =
+  if Array.length seeds = 0 then Error "Sampler.sample: empty seed set"
+  else if fanout <= 0 || hops <= 0 then
+    Error "Sampler.sample: fanout and hops must be positive"
+  else begin
+    let bad = ref None in
+    Array.iter
       (fun v ->
-        let incident = Array.of_list (Csr.neighbors csr v) in
-        Rng.shuffle rng incident;
-        let keep = min fanout (Array.length incident) in
-        for i = 0 to keep - 1 do
-          let src, eid = incident.(i) in
-          edges := eid :: !edges;
-          if not (Hashtbl.mem in_block src) then begin
-            Hashtbl.replace in_block src ();
-            next := src :: !next
-          end
-        done)
-      !frontier;
-    frontier := !next
-  done;
-  (* renumbering, type grouping and edge-order preservation live in the
-     shared induced-subgraph helper (also used by the graph partitioner) *)
-  let nodes = Array.of_list (Hashtbl.fold (fun v () acc -> v :: acc) in_block []) in
-  let induced =
-    Hetgraph.induce
-      ~name:(graph.Hetgraph.name ^ "_block")
-      graph ~nodes ~edges:(Array.of_list (List.rev !edges))
-  in
-  let new_id = Hashtbl.create (Array.length induced.Hetgraph.origin_node) in
-  Array.iteri (fun i v -> Hashtbl.replace new_id v i) induced.Hetgraph.origin_node;
-  {
-    graph = induced.Hetgraph.sub;
-    origin_node = induced.Hetgraph.origin_node;
-    origin_edge = induced.Hetgraph.origin_edge;
-    seed_nodes = Array.map (Hashtbl.find new_id) seeds;
-  }
+        if !bad = None && (v < 0 || v >= graph.Hetgraph.num_nodes) then bad := Some v)
+      seeds;
+    match !bad with
+    | Some v ->
+        (* a stable error, not an exception: under a mutating graph a seed
+           can legitimately reference a node that a delta has removed *)
+        Error
+          (Printf.sprintf "Sampler.sample: seed %d out of range (graph has %d nodes)" v
+             graph.Hetgraph.num_nodes)
+    | None -> (
+        let rng = Rng.create seed in
+        let csr = match csr with Some c -> c | None -> Csr.incoming graph in
+        let in_block = Hashtbl.create (Array.length seeds * 4) in
+        let edges = ref [] (* parent edge ids, newest first *) in
+        Array.iter (fun v -> Hashtbl.replace in_block v ()) seeds;
+        let frontier = ref (Array.to_list seeds) in
+        for _ = 1 to hops do
+          let next = ref [] in
+          List.iter
+            (fun v ->
+              let incident = Array.of_list (Csr.neighbors csr v) in
+              Rng.shuffle rng incident;
+              let keep = min fanout (Array.length incident) in
+              for i = 0 to keep - 1 do
+                let src, eid = incident.(i) in
+                edges := eid :: !edges;
+                if not (Hashtbl.mem in_block src) then begin
+                  Hashtbl.replace in_block src ();
+                  next := src :: !next
+                end
+              done)
+            !frontier;
+          frontier := !next
+        done;
+        (* renumbering, type grouping and edge-order preservation live in the
+           shared induced-subgraph helper (also used by the graph partitioner) *)
+        let nodes = Array.of_list (Hashtbl.fold (fun v () acc -> v :: acc) in_block []) in
+        match
+          Hetgraph.induce_result
+            ~name:(graph.Hetgraph.name ^ "_block")
+            graph ~nodes ~edges:(Array.of_list (List.rev !edges))
+        with
+        | Error msg -> Error msg
+        | Ok induced ->
+            let new_id = Hashtbl.create (Array.length induced.Hetgraph.origin_node) in
+            Array.iteri
+              (fun i v -> Hashtbl.replace new_id v i)
+              induced.Hetgraph.origin_node;
+            Ok
+              {
+                graph = induced.Hetgraph.sub;
+                origin_node = induced.Hetgraph.origin_node;
+                origin_edge = induced.Hetgraph.origin_edge;
+                seed_nodes = Array.map (Hashtbl.find new_id) seeds;
+              })
+  end
+
+let sample ?seed ?csr ~graph ~seeds ~fanout ~hops () =
+  match sample_result ?seed ?csr ~graph ~seeds ~fanout ~hops () with
+  | Ok sub -> sub
+  | Error msg -> invalid_arg msg
 
 (* One block for several requests: sample from the deduplicated union of
    the seed sets, then map every request's own seeds to block ids so its
    output rows can be scattered back out of the shared forward pass. *)
-let sample_union ?seed ~(graph : Hetgraph.t) ~seed_sets ~fanout ~hops () =
-  if Array.length seed_sets = 0 then invalid_arg "Sampler.sample_union: no seed sets";
-  Array.iteri
-    (fun i s ->
-      if Array.length s = 0 then
-        invalid_arg (Printf.sprintf "Sampler.sample_union: seed set %d is empty" i))
-    seed_sets;
-  let seen = Hashtbl.create 64 in
-  let acc = ref [] in
-  Array.iter
-    (Array.iter (fun v ->
-         if not (Hashtbl.mem seen v) then begin
-           Hashtbl.replace seen v ();
-           acc := v :: !acc
-         end))
-    seed_sets;
-  let union = Array.of_list (List.rev !acc) in
-  let sub = sample ?seed ~graph ~seeds:union ~fanout ~hops () in
-  let block_id = Hashtbl.create (Array.length sub.origin_node) in
-  Array.iteri (fun i v -> Hashtbl.replace block_id v i) sub.origin_node;
-  (sub, Array.map (Array.map (Hashtbl.find block_id)) seed_sets)
+let sample_union_result ?seed ?csr ~(graph : Hetgraph.t) ~seed_sets ~fanout ~hops () =
+  if Array.length seed_sets = 0 then Error "Sampler.sample_union: no seed sets"
+  else begin
+    let empty = ref None in
+    Array.iteri
+      (fun i s -> if !empty = None && Array.length s = 0 then empty := Some i)
+      seed_sets;
+    match !empty with
+    | Some i -> Error (Printf.sprintf "Sampler.sample_union: seed set %d is empty" i)
+    | None -> (
+        let seen = Hashtbl.create 64 in
+        let acc = ref [] in
+        Array.iter
+          (Array.iter (fun v ->
+               if not (Hashtbl.mem seen v) then begin
+                 Hashtbl.replace seen v ();
+                 acc := v :: !acc
+               end))
+          seed_sets;
+        let union = Array.of_list (List.rev !acc) in
+        match sample_result ?seed ?csr ~graph ~seeds:union ~fanout ~hops () with
+        | Error msg -> Error msg
+        | Ok sub ->
+            let block_id = Hashtbl.create (Array.length sub.origin_node) in
+            Array.iteri (fun i v -> Hashtbl.replace block_id v i) sub.origin_node;
+            Ok (sub, Array.map (Array.map (Hashtbl.find block_id)) seed_sets))
+  end
+
+let sample_union ?seed ?csr ~graph ~seed_sets ~fanout ~hops () =
+  match sample_union_result ?seed ?csr ~graph ~seed_sets ~fanout ~hops () with
+  | Ok r -> r
+  | Error msg -> invalid_arg msg
 
 let induced_feature_rows sub = sub.origin_node

@@ -16,37 +16,65 @@ type subgraph = {
   seed_nodes : int array;  (** subgraph ids of the seeds (training targets) *)
 }
 
+val sample_result :
+  ?seed:int ->
+  ?csr:Csr.t ->
+  graph:Hetgraph.t ->
+  seeds:int array ->
+  fanout:int ->
+  hops:int ->
+  unit ->
+  (subgraph, string) result
+(** Sample a block.  [seeds] are parent node ids; [fanout] bounds the
+    incoming edges kept per node per hop (uniform without replacement);
+    [hops >= 1].  The subgraph inherits the parent's metagraph and cost
+    scale 1 (a minibatch runs at its physical size).  [csr] (which must be
+    [Csr.incoming graph]) lets a caller that samples the same parent many
+    times — a serving replica, or the streaming subsystem with an
+    incrementally patched CSR — skip rebuilding the adjacency per call.
+    Returns [Error msg] (stable, surfaced from {!Hetgraph.induce_result})
+    on empty seeds, non-positive fanout/hops, or a seed referencing a node
+    outside the graph — e.g. one tombstoned by a {!Hector_stream} delta. *)
+
 val sample :
   ?seed:int ->
+  ?csr:Csr.t ->
   graph:Hetgraph.t ->
   seeds:int array ->
   fanout:int ->
   hops:int ->
   unit ->
   subgraph
-(** Sample a block.  [seeds] are parent node ids; [fanout] bounds the
-    incoming edges kept per node per hop (uniform without replacement);
-    [hops >= 1].  The subgraph inherits the parent's metagraph and cost
-    scale 1 (a minibatch runs at its physical size).  Raises
-    [Invalid_argument] on empty seeds, out-of-range ids or non-positive
-    fanout/hops. *)
+(** {!sample_result}, raising [Invalid_argument] on [Error]. *)
 
-val sample_union :
+val sample_union_result :
   ?seed:int ->
+  ?csr:Csr.t ->
   graph:Hetgraph.t ->
   seed_sets:int array array ->
   fanout:int ->
   hops:int ->
   unit ->
-  subgraph * int array array
+  (subgraph * int array array, string) result
 (** Sample ONE block covering several requests at once: the block is
     [sample] of the deduplicated union of the seed sets (first-occurrence
     order, so the union of a single set is that set), and the second
     component maps each input set to the block ids of its own seeds —
     the rows to scatter back per request after a shared batched forward.
     The returned subgraph's [seed_nodes] are the union's block ids.
-    Raises [Invalid_argument] if [seed_sets] or any individual set is
-    empty, or on the conditions [sample] rejects. *)
+    Returns [Error msg] if [seed_sets] or any individual set is empty, or
+    on the conditions {!sample_result} rejects. *)
+
+val sample_union :
+  ?seed:int ->
+  ?csr:Csr.t ->
+  graph:Hetgraph.t ->
+  seed_sets:int array array ->
+  fanout:int ->
+  hops:int ->
+  unit ->
+  subgraph * int array array
+(** {!sample_union_result}, raising [Invalid_argument] on [Error]. *)
 
 val induced_feature_rows : subgraph -> int array
 (** The parent rows to gather when transferring node features to the

@@ -43,10 +43,12 @@ type arena = {
    allocator that charged a backing rides along so growth can release the
    superseded charge. *)
 type slab = {
+  sepoch : int;
   sbackings : (string * int, Memory.t * Memory.allocation * Tensor.t) Hashtbl.t;
 }
 
-let create_slab () = { sbackings = Hashtbl.create 32 }
+let create_slab ?(epoch = 0) () = { sepoch = epoch; sbackings = Hashtbl.create 32 }
+let slab_epoch slab = slab.sepoch
 
 type t = {
   engine : Engine.t;

@@ -14,6 +14,8 @@ type t = {
   dist_bucket_kb : int option;
   dist_pipeline : int option;
   tune_db : string option;
+  stream_slack : float option;
+  stream_compact : float option;
 }
 
 let defaults =
@@ -31,6 +33,8 @@ let defaults =
     dist_bucket_kb = None;
     dist_pipeline = None;
     tune_db = None;
+    stream_slack = None;
+    stream_compact = None;
   }
 
 let truthy s =
@@ -86,6 +90,20 @@ let parse getenv =
   let dist_channels = positive "HECTOR_DIST_CHANNELS" in
   let dist_bucket_kb = positive "HECTOR_DIST_BUCKET_KB" in
   let dist_pipeline = positive "HECTOR_DIST_PIPELINE" in
+  (* slack may be 0 (every growth step re-warms) but not negative *)
+  let stream_slack =
+    match getenv "HECTOR_STREAM_SLACK" with
+    | None -> None
+    | Some s -> (
+        match float_of_string_opt (String.trim s) with
+        | Some f when f >= 0.0 && Float.is_finite f -> Some f
+        | _ -> None)
+  in
+  let stream_compact =
+    match positive_float "HECTOR_STREAM_COMPACT" with
+    | Some f when f <= 1.0 -> Some f
+    | _ -> None
+  in
   {
     domains;
     arena;
@@ -100,6 +118,8 @@ let parse getenv =
     dist_bucket_kb;
     dist_pipeline;
     tune_db;
+    stream_slack;
+    stream_compact;
   }
 
 let cache : t option ref = ref None

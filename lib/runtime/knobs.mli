@@ -37,7 +37,13 @@
        distributed training (positive integer; [1] disables pipelining);}
     {- [HECTOR_TUNE_DB] — path of the persistent plan-tuning database
        (JSON; see {!Tuning_db}): serving consults it at admission and the
-       autotuner records search winners into it.}}
+       autotuner records search winners into it;}
+    {- [HECTOR_STREAM_SLACK] — capacity headroom fraction of the streaming
+       subsystem's mutable graphs (non-negative float; each node/edge type
+       gets [(1+slack)·live] device capacity, so in-slack deltas re-warm
+       nothing);}
+    {- [HECTOR_STREAM_COMPACT] — tombstone fraction (in [(0, 1]]) beyond
+       which a mutable graph's per-type segment is compacted.}}
 
     At module initialization this registers the [HECTOR_DOMAINS] parser as
     {!Hector_tensor.Domain_pool.set_default_sizing}'s hook, so pool sizing
@@ -64,6 +70,13 @@ type t = {
   dist_pipeline : int option;  (** [HECTOR_DIST_PIPELINE], validated *)
   tune_db : string option;
       (** [HECTOR_TUNE_DB]; [None] = unset/blank (no tuning database) *)
+  stream_slack : float option;
+      (** [HECTOR_STREAM_SLACK], validated (finite, [>= 0]); [None] =
+          unset/invalid (the streaming subsystem falls back to its
+          built-in default headroom) *)
+  stream_compact : float option;
+      (** [HECTOR_STREAM_COMPACT], validated (in [(0, 1]]); [None] =
+          unset/invalid *)
 }
 
 val parse : (string -> string option) -> t

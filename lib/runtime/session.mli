@@ -79,7 +79,18 @@ val create :
     [?memory_planner], [?node_inputs], [?edge_inputs], [?weights]) are the
     {e deprecated} pre-[Config] interface, kept so existing call sites
     compile unchanged; when both are given, a label overrides the
-    corresponding [config] field.  New code should pass [~config] only. *)
+    corresponding [config] field.  New code should pass [~config] only.
+
+    {b The graph is frozen at creation.}  A session never observes
+    structural changes made after [create]; the old guidance of rebuilding
+    a session per graph edit is {e deprecated} as a mutation strategy.
+    Workloads whose graph changes over time should mutate a
+    {!Hector_stream.Mutable_graph} and run over the graphs its
+    [snapshot] yields — that is the supported mutating path: in-slack
+    deltas keep compiled plans, slab backings and serving replicas warm
+    (see {!Hector_stream} and DESIGN.md "Streaming ingestion"), where
+    recreating sessions from scratch recompiles and reallocates on every
+    edit. *)
 
 val forward : t -> (string * Tensor.t) list
 (** Run one forward pass (inference); returns the program outputs (copies).

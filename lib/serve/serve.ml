@@ -1,6 +1,7 @@
 module Tensor = Hector_tensor.Tensor
 module G = Hector_graph.Hetgraph
 module Sampler = Hector_graph.Sampler
+module Csr = Hector_graph.Csr
 module Device = Hector_gpu.Device
 module Engine = Hector_gpu.Engine
 module Kernel = Hector_gpu.Kernel
@@ -28,6 +29,8 @@ type config = {
   tune_db : string option;
   device : Device.t;
   seed : int;
+  weights : (string * Tensor.t) list;
+  epoch : int;
 }
 
 let default_config =
@@ -43,6 +46,8 @@ let default_config =
     tune_db = None;
     device = Device.rtx3090;
     seed = 1;
+    weights = [];
+    epoch = 0;
   }
 
 type response = {
@@ -57,7 +62,10 @@ type response = {
 }
 
 type t = {
-  graph : G.t;
+  mutable graph : G.t;  (* current snapshot; swapped by [update_graph] *)
+  mutable in_csr : Csr.t;  (* Csr.incoming of [graph], cached across batches *)
+  node_capacity : int;  (* warmup graph sizes: staging/slab upper bounds *)
+  edge_capacity : int;
   compiled : Compiler.compiled;
   cache : Plan_cache.t;
   engine : Engine.t;
@@ -79,6 +87,7 @@ type t = {
   mutable requests_seen : int;
   mutable served : int;
   mutable shed : int;
+  mutable rejected : int;  (* invalid seeds (e.g. tombstoned nodes), never enqueued *)
   mutable batches : int;
   mutable latencies : float list;  (* served requests only *)
   mutable queue_waits : float list;
@@ -174,7 +183,7 @@ let create ?(config = default_config) ?obs ~graph program =
   (* one persistent engine for the replica; blocks run at physical size
      (scale 1), like minibatch training *)
   let engine = Engine.create ~device:config.device ~scale:1.0 ~obs () in
-  let slab = Exec.create_slab () in
+  let slab = Exec.create_slab ~epoch:config.epoch () in
   (* warmup: a session over the PARENT graph charges weights and features
      once and primes the slab at parent capacity — an upper bound on every
      sampled block, so steady-state blocks never outgrow the backings *)
@@ -186,7 +195,13 @@ let create ?(config = default_config) ?obs ~graph program =
       seed = config.seed;
     }
   in
-  let session = Session.create ~config:scfg ~graph compiled in
+  (* explicit weights (e.g. pinned across capacity epochs by the streaming
+     subsystem) override the seeded Glorot initialization *)
+  let session =
+    match config.weights with
+    | [] -> Session.create ~config:scfg ~graph compiled
+    | ws -> Session.create ~config:scfg ~weights:ws ~graph compiled
+  in
   let exec0 = Session.exec session in
   Exec.warm_plan exec0 compiled.Compiler.forward;
   let outputs =
@@ -212,6 +227,9 @@ let create ?(config = default_config) ?obs ~graph program =
   Engine.reset_clock engine;
   {
     graph;
+    in_csr = Csr.incoming graph;
+    node_capacity = graph.G.num_nodes;
+    edge_capacity = graph.G.num_edges;
     compiled;
     cache;
     engine;
@@ -232,12 +250,60 @@ let create ?(config = default_config) ?obs ~graph program =
     requests_seen = 0;
     served = 0;
     shed = 0;
+    rejected = 0;
     batches = 0;
     latencies = [];
     queue_waits = [];
     batch_hist = Hashtbl.create 8;
     sim_ms = 0.0;
   }
+
+(* Swap the served graph for a new snapshot of the same mutable parent —
+   the streaming subsystem's in-slack path.  Within the warm capacity this
+   recompiles nothing and reallocates nothing: the plan-cache key, slab
+   backings, staging tensors and the parent-features storage all survive;
+   only the feature VALUES are overwritten in place and the cached incoming
+   CSR replaced (with the caller's incrementally patched one when given).
+   A snapshot beyond the warm capacity is refused — that is the epoch
+   boundary, where the caller re-warms a fresh replica instead. *)
+let update_graph t ~(graph : G.t) ?features ?csr () =
+  if
+    G.num_ntypes graph <> G.num_ntypes t.graph
+    || G.num_etypes graph <> G.num_etypes t.graph
+  then Error "Serve.update_graph: metagraph shape mismatch"
+  else if graph.G.num_nodes > t.node_capacity then
+    Error
+      (Printf.sprintf
+         "Serve.update_graph: %d nodes exceed warm capacity %d (epoch rebuild required)"
+         graph.G.num_nodes t.node_capacity)
+  else if graph.G.num_edges > t.edge_capacity then
+    Error
+      (Printf.sprintf
+         "Serve.update_graph: %d edges exceed warm capacity %d (epoch rebuild required)"
+         graph.G.num_edges t.edge_capacity)
+  else begin
+    match features with
+    | Some f
+      when Tensor.cols f <> Tensor.cols t.features || Tensor.rows f <> graph.G.num_nodes
+      ->
+        Error "Serve.update_graph: features must be num_nodes x feature_dim"
+    | _ ->
+        (match features with
+        | Some f ->
+            let dim = Tensor.cols t.features in
+            for i = 0 to graph.G.num_nodes - 1 do
+              for j = 0 to dim - 1 do
+                Tensor.set2 t.features i j (Tensor.get2 f i j)
+              done
+            done
+        | None -> ());
+        t.graph <- graph;
+        t.in_csr <- (match csr with Some c -> c | None -> Csr.incoming graph);
+        Hector_obs.add t.obs "serve.graph_updates" 1;
+        Ok ()
+  end
+
+let model_weights t = t.weights
 
 (* Execute one coalesced batch: union-sample a block, stage inputs into
    parent-capacity views, charge the PCIe transfer, run the cached forward
@@ -249,7 +315,7 @@ let run_batch t (batch : Workload.request array) =
   let sub, block_seed_sets =
     Sampler.sample_union
       ~seed:((batch.(0).Workload.id * 31) + 17)
-      ~graph:t.graph ~seed_sets ~fanout:t.fanout ~hops:t.hops ()
+      ~csr:t.in_csr ~graph:t.graph ~seed_sets ~fanout:t.fanout ~hops:t.hops ()
   in
   let block = sub.Sampler.graph in
   let sample_ms =
@@ -332,6 +398,23 @@ let serve t (requests : Workload.request array) =
   t.requests_seen <- t.requests_seen + n;
   Hector_obs.add t.obs "serve.requests" n;
   let responses = Array.map (fun r -> shed_response r) requests in
+  (* seeds are validated against the CURRENT snapshot at admission: under a
+     mutating graph a client can hold ids a delta has since removed, and a
+     stale request must be rejected (output [None]), not crash the loop *)
+  let valid =
+    Array.map
+      (fun r ->
+        Array.length r.Workload.seeds > 0
+        && Array.for_all
+             (fun s -> s >= 0 && s < t.graph.G.num_nodes)
+             r.Workload.seeds)
+      requests
+  in
+  let reject _idx =
+    t.rejected <- t.rejected + 1;
+    Hector_obs.add t.obs "serve.rejected" 1
+    (* the response stays a shed record: no output *)
+  in
   let queue : (int * Workload.request) Queue.t = Queue.create () in
   let next = ref 0 in
   let server_free = ref 0.0 in
@@ -339,8 +422,9 @@ let serve t (requests : Workload.request array) =
   while !next < n || not (Queue.is_empty queue) do
     if Queue.is_empty queue then begin
       (* idle: jump the clock to the next arrival (capacity >= 1) *)
-      Queue.add (!next, requests.(!next)) queue;
-      incr next
+      let idx = !next in
+      incr next;
+      if valid.(idx) then Queue.add (idx, requests.(idx)) queue else reject idx
     end
     else begin
       let _, oldest = Queue.peek queue in
@@ -359,7 +443,8 @@ let serve t (requests : Workload.request array) =
       while !next < n && requests.(!next).Workload.arrival_ms <= dispatch_at do
         let idx = !next in
         incr next;
-        if Queue.length queue >= t.queue_capacity then begin
+        if not valid.(idx) then reject idx
+        else if Queue.length queue >= t.queue_capacity then begin
           t.shed <- t.shed + 1;
           Hector_obs.add t.obs "serve.shed" 1
           (* responses.(idx) is already a shed record *)
@@ -473,6 +558,7 @@ let metrics_json t =
       M.int "requests" s.requests;
       M.int "served" s.lserved;
       M.int "shed" s.lshed;
+      M.int "rejected" t.rejected;
       M.int "batches" s.lbatches;
       M.float "mean_batch" s.mean_batch;
       M.float "throughput_rps" s.throughput_rps;
@@ -499,6 +585,11 @@ let plan_cache t = t.cache
 let obs t = t.obs
 let served t = t.served
 let shed t = t.shed
+let rejected t = t.rejected
+let graph t = t.graph
+let slab_epoch t = Exec.slab_epoch t.slab
+let node_capacity t = t.node_capacity
+let edge_capacity t = t.edge_capacity
 let batches t = t.batches
 let warm_alloc_count t = t.warm_alloc_count
 let max_batch t = t.max_batch

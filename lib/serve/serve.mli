@@ -58,6 +58,16 @@ type config = {
           [autotune] policy above); [None] → the [HECTOR_TUNE_DB] knob *)
   device : Hector_gpu.Device.t;
   seed : int;  (** weight/feature initialization seed *)
+  weights : (string * Tensor.t) list;
+      (** explicit model weights, overriding the seeded initialization —
+          how the streaming subsystem pins one weight set across capacity
+          epochs ([[]], the default, generates from [seed]) *)
+  epoch : int;
+      (** capacity-epoch tag stamped onto the replica's arena slab
+          ({!Hector_runtime.Exec.slab_epoch}) — bookkeeping for the
+          streaming invalidation protocol: backings tagged with an epoch
+          survive every in-slack {!update_graph} and are retired wholesale
+          when the epoch advances (default [0] for non-streaming use) *)
 }
 
 val default_config : config
@@ -92,12 +102,35 @@ val create :
     Raises [Invalid_argument] on unsupported programs or non-positive
     bounds. *)
 
+val update_graph :
+  t ->
+  graph:Hector_graph.Hetgraph.t ->
+  ?features:Tensor.t ->
+  ?csr:Hector_graph.Csr.t ->
+  unit ->
+  (unit, string) result
+(** Swap the served graph for a newer snapshot of the same logical graph —
+    the in-slack path of {!Hector_stream}.  Within the warm capacity
+    ({!node_capacity}/{!edge_capacity}, the warmup graph's sizes) this
+    performs {e zero} compiles and {e zero} allocations: the cached plan,
+    slab backings and staging tensors all survive; [features] (which must
+    be [num_nodes × feature_dim]) is copied into the existing parent
+    feature storage in place, and [csr] (which must be [Csr.incoming
+    graph] — e.g. the mutable graph's incrementally patched one) replaces
+    the cached adjacency, rebuilt from [graph] when omitted.  Returns
+    [Error] without changing anything if the snapshot exceeds the warm
+    capacity or its metagraph shape differs — the epoch boundary, where
+    the caller re-warms a fresh replica instead. *)
+
 val serve : t -> Workload.request array -> response array
 (** Run the discrete-event loop over one arrival trace (sorted by
     arrival; raises [Invalid_argument] otherwise) and return one response
     per request, in trace order.  Each call is an independent episode
     starting at simulated time 0; plan cache, slab, weights and load
-    accounting persist across calls. *)
+    accounting persist across calls.  Requests whose seeds are empty or
+    out of range for the {e current} snapshot (e.g. a node tombstoned by
+    a delta since the client drew its ids) are {e rejected} — counted in
+    {!rejected}, response output [None] — rather than raising. *)
 
 type load_stats = {
   requests : int;  (** all requests seen (served + shed) *)
@@ -145,6 +178,29 @@ val obs : t -> Hector_obs.t
 val served : t -> int
 
 val shed : t -> int
+
+val rejected : t -> int
+(** Requests refused for invalid seeds (see {!serve}); disjoint from
+    {!shed}. *)
+
+val graph : t -> Hector_graph.Hetgraph.t
+(** The snapshot currently served (the latest {!update_graph}, or the
+    creation graph). *)
+
+val slab_epoch : t -> int
+(** The capacity epoch the replica's slab backings are pinned to
+    ([config.epoch]). *)
+
+val node_capacity : t -> int
+(** Warm node capacity: the warmup graph's node count, the bound
+    {!update_graph} enforces. *)
+
+val edge_capacity : t -> int
+
+val model_weights : t -> (string * Tensor.t) list
+(** The replica's weights (generated or from [config.weights]) — what a
+    streaming driver passes to the next epoch's replica so outputs stay
+    comparable across re-warms. *)
 
 val batches : t -> int
 

@@ -1,0 +1,72 @@
+(** Delta batches over a mutating heterogeneous graph.
+
+    A delta is the unit of ingestion of the streaming subsystem: an ordered
+    batch of node inserts/removes, edge inserts/removes and feature-row
+    updates, applied atomically by {!Mutable_graph.apply}.  Ops reference
+    {e stable ids} — identities assigned at insertion and never reused —
+    not physical {!Hector_graph.Hetgraph} ids, which are renumbered by
+    every snapshot.
+
+    The {!generate} function draws deterministic random-but-valid deltas
+    against a live view of a mutable graph, which is what the qcheck
+    equivalence suites, [hector stream] and the bench replay over. *)
+
+module Metagraph = Hector_graph.Metagraph
+
+type op =
+  | Add_node of { ntype : int; feat : float array option }
+      (** insert a node of [ntype]; its feature row is [feat] (length =
+          feature dim) or zeros; the new node's stable id is the mutable
+          graph's next counter value *)
+  | Remove_node of { node : int }
+      (** tombstone a live node (stable id); every live edge incident to
+          it is removed implicitly *)
+  | Add_edge of { etype : int; src : int; dst : int }
+      (** insert an edge of [etype] between live nodes (stable ids) whose
+          types match the metagraph relation *)
+  | Remove_edge of { edge : int }  (** tombstone a live edge (stable id) *)
+  | Set_feat of { node : int; feat : float array }
+      (** overwrite a live node's feature row *)
+
+type t = { ops : op array }
+
+val size : t -> int
+(** Number of ops. *)
+
+val structural : t -> bool
+(** Whether any op changes graph structure (everything except
+    [Set_feat]). *)
+
+type view = {
+  metagraph : Metagraph.t;
+  feat_dim : int;
+  live_nodes : int -> int array;
+      (** per node type: live stable ids, ascending *)
+  live_edges : int -> (int * int * int) array;
+      (** per edge type: live [(edge stable, src stable, dst stable)] *)
+}
+(** A read-only window onto the mutable graph's live state
+    ({!Mutable_graph.view}) — what the generator draws references from. *)
+
+type mix = {
+  add_node : float;
+  remove_node : float;
+  add_edge : float;
+  remove_edge : float;
+  set_feat : float;
+}
+(** Relative op-category weights (need not sum to 1). *)
+
+val default_mix : mix
+(** Growth-leaning mixed read/write traffic: mostly edge inserts and
+    feature updates, some node churn. *)
+
+val generate : ?mix:mix -> view:view -> seed:int -> ops:int -> unit -> t
+(** Draw a delta of [ops] valid ops against [view], deterministically in
+    [seed].  Categories are weighted by [mix], renormalized over the
+    categories currently feasible (e.g. node removal only draws from types
+    with at least two live nodes, so no type is ever drained; removal
+    never targets something already removed earlier in the same batch, and
+    ops never reference nodes inserted earlier in the batch).  Feature
+    values are standard-normal.  Raises [Invalid_argument] on negative
+    [ops] or non-positive total weight. *)

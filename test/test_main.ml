@@ -21,4 +21,5 @@ let () =
       ("frontend", Test_frontend.suite);
       ("obs", Test_obs.suite);
       ("dist", Test_dist.suite);
+      ("stream", Test_stream.suite);
     ]
