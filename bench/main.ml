@@ -859,6 +859,214 @@ let run_stream ~json ~check ~tolerance () =
       if not (check_regressions ~baseline ~tolerance results) then exit 1
   | _ -> ()
 
+(* --- fault-tolerance benchmark (--fault) ----------------------------
+
+   Three deterministic fault drills, entirely on the simulated clock:
+
+   1. crash recovery: 4-replica data-parallel RGCN training with a crash
+      scheduled at step 3; survivors detect the dead peer, reload the
+      latest checkpoint and re-partition.  Gates the charged
+      detection+reload time, and fails in-run if the recovered run leaves
+      the uninterrupted loss trajectory (> 1e-6).
+   2. message faults: training under a 5% seeded drop rate; gates the
+      retry count per 1k kernel launches (deterministic by construction),
+      plus the faults-off overhead — simulated-ms and launch-count deltas
+      of a rate-0 plan vs no plan, which ride the zero-tolerance integer
+      gate: any nonzero overhead fails.
+   3. serving degradation: a serve trace where every micro-batch fails;
+      gates the shed fraction and pins (again zero-tolerance, via the
+      integer field) that served + shed + rejected still accounts for
+      every request — degradation is witnessed, never silent. *)
+
+module Fault = Hector_ckpt.Fault
+module Failover = Hector_dist.Failover
+
+let run_fault ~json ~check ~tolerance () =
+  let baseline = Option.map read_baseline check in
+  let graph =
+    Hector_graph.Generator.generate
+      {
+        Hector_graph.Generator.name = "fault_bench";
+        num_ntypes = 3;
+        num_etypes = 8;
+        num_nodes = 400;
+        num_edges = 1600;
+        compaction_target = 0.4;
+        scale = 1.0;
+        seed = 29;
+      }
+  in
+  let num_nodes = graph.Hector_graph.Hetgraph.num_nodes in
+  let features =
+    Hector_tensor.Tensor.randn (Hector_tensor.Rng.create 23) [| num_nodes; 32 |]
+  in
+  let labels = Array.init num_nodes (fun i -> i mod 16) in
+  let compiled =
+    Hector_core.Compiler.compile
+      ~options:(Hector_core.Compiler.options_of_flags ~training:true ~compact:false ~fusion:false ())
+      (Hector_models.Model_defs.rgcn ~in_dim:32 ~out_dim:16 ())
+  in
+  let config ?comms parts =
+    let comms =
+      match comms with
+      | Some c -> c
+      | None -> Hector_dist.Comms.create ~latency_us:5.0 ~bandwidth_gbs:25.0 ()
+    in
+    { Replica.Config.default with Replica.Config.parts = Some parts; comms = Some comms }
+  in
+  (* 1. crash recovery --------------------------------------------------- *)
+  let ckpt_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hector-bench-fault-%d" (Unix.getpid ()))
+  in
+  let steps = 5 in
+  let uninterrupted =
+    Failover.train ~config:(config 4) ~lr:0.05 ~features ~graph ~labels ~steps compiled
+  in
+  let recovered =
+    Failover.train ~config:(config 4)
+      ~faults:(Fault.create ~crash_at:(3, 1) ())
+      ~dir:ckpt_dir ~every:1 ~lr:0.05 ~features ~graph ~labels ~steps compiled
+  in
+  (try
+     Array.iter (fun f -> Sys.remove (Filename.concat ckpt_dir f)) (Sys.readdir ckpt_dir);
+     Unix.rmdir ckpt_dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  let trajectory_diff =
+    Array.fold_left Float.max 0.0
+      (Array.map2
+         (fun a b -> abs_float (a -. b))
+         uninterrupted.Failover.losses recovered.Failover.losses)
+  in
+  if trajectory_diff > 1e-6 then begin
+    Printf.eprintf
+      "bench/main.exe: recovered run left the loss trajectory (max diff %.2e > 1e-6)\n"
+      trajectory_diff;
+    exit 1
+  end;
+  let recovery_ms = recovered.Failover.recovery_ms in
+  (* 2. message faults and the faults-off overhead ----------------------- *)
+  let train_cluster cfg =
+    let cluster = Replica.create ~config:cfg ~features ~graph [ compiled ] in
+    for _ = 1 to 3 do
+      ignore (Replica.train_step cluster ~labels ())
+    done;
+    cluster
+  in
+  let drop_plan = Fault.create ~seed:7 ~rate:0.05 () in
+  let dropped =
+    train_cluster
+      (config
+         ~comms:
+           (Hector_dist.Comms.create ~latency_us:5.0 ~bandwidth_gbs:25.0 ~faults:drop_plan ())
+         4)
+  in
+  let retries_per_1k =
+    1000.0 *. float_of_int (Fault.retries drop_plan)
+    /. float_of_int (Replica.launches dropped)
+  in
+  let plain = train_cluster (config 4) in
+  let zero_plan = Fault.create ~rate:0.0 () in
+  let zeroed =
+    train_cluster
+      (config
+         ~comms:
+           (Hector_dist.Comms.create ~latency_us:5.0 ~bandwidth_gbs:25.0 ~faults:zero_plan ())
+         4)
+  in
+  let off_overhead_ms = Replica.elapsed_ms zeroed -. Replica.elapsed_ms plain in
+  let off_launch_delta = Replica.launches zeroed - Replica.launches plain in
+  (* 3. serving degradation ---------------------------------------------- *)
+  let serve_plan = Fault.create ~seed:11 ~rate:1.0 () in
+  let server =
+    Serve.create
+      ~config:
+        {
+          Serve.default_config with
+          Serve.fanout = 6;
+          hops = 2;
+          max_batch = Some 8;
+          max_wait_ms = 5.0;
+          queue_capacity = Some 128;
+          faults = Some serve_plan;
+        }
+      ~graph
+      (Hector_models.Model_defs.rgcn ~in_dim:32 ~out_dim:16 ())
+  in
+  let requests =
+    Workload.generate
+      ~spec:{ Workload.seed = 42; rate_rps = 1500.0; requests = 48; seeds_per_request = 4 }
+      ~num_nodes ()
+  in
+  ignore (Serve.serve server requests);
+  let seen = Array.length requests in
+  let shed_on_fault = float_of_int (Serve.fault_shed server) /. float_of_int seen in
+  let accounting_delta =
+    Serve.served server + Serve.shed server + Serve.rejected server - seen
+  in
+  (* the integer gates are one-sided (any increase fails); a negative delta
+     would slip through, so pin exact-zero in-run *)
+  if accounting_delta <> 0 then begin
+    Printf.eprintf "bench/main.exe: %+d requests unaccounted for under faults\n"
+      accounting_delta;
+    exit 1
+  end;
+  if off_launch_delta <> 0 || off_overhead_ms <> 0.0 then begin
+    Printf.eprintf
+      "bench/main.exe: rate-0 fault plan is not free (%+.6f ms, %+d launches)\n"
+      off_overhead_ms off_launch_delta;
+    exit 1
+  end;
+  Printf.printf
+    "Fault-tolerance benchmark (simulated clock):\n\
+    \  crash recovery: detect+reload %.3f sim-ms, trajectory diff %.2e, %d survivors\n\
+    \  message faults: %d retries over %d launches (%.3f per 1k), faults-off overhead \
+     %+.6f ms / %+d launches\n\
+    \  serving: %d/%d requests shed after failed retry (%d batch failures), accounting \
+     delta %+d\n"
+    recovery_ms trajectory_diff
+    (Replica.parts recovered.Failover.cluster)
+    (Fault.retries drop_plan) (Replica.launches dropped) retries_per_1k off_overhead_ms
+    off_launch_delta (Serve.fault_shed server) seen
+    (Serve.batch_failures server) accounting_delta;
+  let entries =
+    [
+      ("fault/recovery_ms", recovery_ms, None);
+      ("fault/retries_per_1k", retries_per_1k, None);
+      ("fault/off_overhead_ms", off_overhead_ms, Some off_launch_delta);
+      ("fault/shed_on_fault", shed_on_fault, Some accounting_delta);
+    ]
+  in
+  if json then begin
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "{\n";
+    List.iter
+      (fun (name, v, launches) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  \"%s\": {\"sim_ms\": %.6f%s},\n" name v
+             (match launches with
+             | Some l -> Printf.sprintf ", \"launches\": %d" l
+             | None -> "")))
+      entries;
+    Buffer.add_string buf
+      (Printf.sprintf "  \"_meta\": %s\n}\n"
+         (Replica.metrics_json recovered.Failover.cluster));
+    let oc = open_out "BENCH_fault.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "\nWrote BENCH_fault.json (%d entries + _meta)\n" (List.length entries)
+  end;
+  match (check, baseline) with
+  | Some _, Some baseline ->
+      let results =
+        List.map
+          (fun (name, v, launches) ->
+            (name, { ns = None; sim_ms = Some v; allocs = 0; copied = 0; launches }))
+          entries
+      in
+      if not (check_regressions ~baseline ~tolerance results) then exit 1
+  | _ -> ()
+
 (* --- CLI ---------------------------------------------------------- *)
 
 let usage () =
@@ -882,6 +1090,12 @@ let usage () =
     \                   interleaved with delta batches over a mutating graph,\n\
     \                   gating p99 under mutation, update cost per 1k ops and\n\
     \                   (zero-tolerance) recompiles per 1k in-slack deltas\n\
+    \  --fault          run the fault-tolerance benchmark instead: a scheduled\n\
+    \                   replica crash with checkpoint recovery, seeded message\n\
+    \                   drops with bounded retry, and a serve trace where every\n\
+    \                   micro-batch fails -- gating recovery time, retries per\n\
+    \                   1k launches, shed fraction and (zero-tolerance) the\n\
+    \                   faults-off overhead and request accounting\n\
     \  --json           with --micro: write BENCH_micro.json\n\
     \                   (name -> {ns, sim_ms, allocs, copied_bytes}, plus a\n\
     \                   \"_meta\" observability snapshot) and BENCH_trace.json\n\
@@ -893,7 +1107,9 @@ let usage () =
     \                   with --tune: write BENCH_tune.json (tuned and fixed\n\
     \                   sim-ms per model + a \"_meta\" table of winners);\n\
     \                   with --stream: write BENCH_stream.json (p99 under\n\
-    \                   mutation, update cost, excess recompiles)\n\
+    \                   mutation, update cost, excess recompiles);\n\
+    \                   with --fault: write BENCH_fault.json (recovery time,\n\
+    \                   retries per 1k launches, shed-on-fault fraction)\n\
     \  --check FILE     with --micro/--serve/--dist/--stream: compare against\n\
     \                   a committed BENCH_*.json baseline; exit 1 on any\n\
     \                   regression (launch counts gate one-sided with zero\n\
@@ -919,7 +1135,11 @@ let usage () =
     \  HECTOR_DIST_PIPELINE  micro-batch pipeline depth (default 1 = off)\n\
     \  HECTOR_TUNE_DB   persistent plan-tuning database path (JSON)\n\
     \  HECTOR_STREAM_SLACK   capacity headroom per type for mutable graphs\n\
-    \  HECTOR_STREAM_COMPACT dead-slot fraction that triggers compaction\n"
+    \  HECTOR_STREAM_COMPACT dead-slot fraction that triggers compaction\n\
+    \  HECTOR_CKPT_DIR  default checkpoint directory (save/load/latest)\n\
+    \  HECTOR_CKPT_KEEP retain only the N newest checkpoints on save\n\
+    \  HECTOR_FAULT_SEED / HECTOR_FAULT_RATE  deterministic fault plan for\n\
+    \                   comms drops/delays and serve batch failures\n"
 
 let cli_error fmt =
   Printf.ksprintf
@@ -935,6 +1155,7 @@ type cli = {
   mutable dist : bool;
   mutable tune : bool;
   mutable stream : bool;
+  mutable fault : bool;
   mutable json : bool;
   mutable check : string option;
   mutable tolerance : float;
@@ -952,6 +1173,7 @@ let parse_cli argv =
       dist = false;
       tune = false;
       stream = false;
+      fault = false;
       json = false;
       check = None;
       tolerance = 0.25;
@@ -989,6 +1211,9 @@ let parse_cli argv =
         go rest
     | "--stream" :: rest ->
         cli.stream <- true;
+        go rest
+    | "--fault" :: rest ->
+        cli.fault <- true;
         go rest
     | "--json" :: rest ->
         cli.json <- true;
@@ -1035,21 +1260,27 @@ let () =
      so every compilation below sees fusion off *)
   if cli.no_fuse then Hector_core.Compiler.set_fuse_ops_default (fun () -> false);
   if (if cli.micro then 1 else 0) + (if cli.serve then 1 else 0) + (if cli.dist then 1 else 0)
-     + (if cli.tune then 1 else 0) + (if cli.stream then 1 else 0) > 1
-  then cli_error "--micro, --serve, --dist, --tune and --stream are mutually exclusive";
-  if cli.json && not (cli.micro || cli.serve || cli.dist || cli.tune || cli.stream) then
-    cli_error
-      "--json only makes sense together with --micro, --serve, --dist, --tune or --stream";
-  if cli.check <> None && not (cli.micro || cli.serve || cli.dist || cli.tune || cli.stream)
+     + (if cli.tune then 1 else 0) + (if cli.stream then 1 else 0)
+     + (if cli.fault then 1 else 0) > 1
+  then cli_error "--micro, --serve, --dist, --tune, --stream and --fault are mutually exclusive";
+  if cli.json
+     && not (cli.micro || cli.serve || cli.dist || cli.tune || cli.stream || cli.fault)
   then
     cli_error
-      "--check only makes sense together with --micro, --serve, --dist, --tune or --stream";
+      "--json only makes sense together with --micro, --serve, --dist, --tune, --stream or --fault";
+  if cli.check <> None
+     && not (cli.micro || cli.serve || cli.dist || cli.tune || cli.stream || cli.fault)
+  then
+    cli_error
+      "--check only makes sense together with --micro, --serve, --dist, --tune, --stream or --fault";
   if cli.micro then run_micro ~json:cli.json ~check:cli.check ~tolerance:cli.tolerance ()
   else if cli.serve then run_serve ~json:cli.json ~check:cli.check ~tolerance:cli.tolerance ()
   else if cli.dist then run_dist ~json:cli.json ~check:cli.check ~tolerance:cli.tolerance ()
   else if cli.tune then run_tune ~json:cli.json ~check:cli.check ~tolerance:cli.tolerance ()
   else if cli.stream then
     run_stream ~json:cli.json ~check:cli.check ~tolerance:cli.tolerance ()
+  else if cli.fault then
+    run_fault ~json:cli.json ~check:cli.check ~tolerance:cli.tolerance ()
   else begin
     let t = H.create ~max_nodes:cli.max_nodes ~max_edges:cli.max_edges () in
     let selected =

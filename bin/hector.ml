@@ -6,6 +6,7 @@
      hector serve    -m rgcn -d aifb --rate 500        batched inference serving
      hector stream   -m rgcn -d aifb --deltas 8         serving over a mutating graph
      hector partition -d am --parts 4                  typed-edge graph partitioning
+     hector checkpoint -m rgcn -d aifb --dir /tmp/ck    checkpointed training / resume
      hector datasets                                   list dataset replicas
      hector baselines -m rgat -d am                    compare prior systems *)
 
@@ -22,6 +23,9 @@ module Ds = Hector_graph.Datasets
 module B = Hector_baselines.Baselines
 module Serve = Hector_serve.Serve
 module Workload = Hector_serve.Workload
+module Fault = Hector_ckpt.Fault
+module Checkpoint = Hector_ckpt.Checkpoint
+module Trainer = Hector_ckpt.Trainer
 
 let model_arg =
   let doc = "Model: rgcn, rgat or hgt." in
@@ -84,7 +88,13 @@ let trace_arg =
        & info [ "trace" ] ~docv:"FILE" ~doc:"Write a Chrome-tracing timeline of the run to FILE.")
 
 let cmd_run =
-  let run model dataset compact fusion training max_edges trace_file no_fuse =
+  let ckpt_arg =
+    Arg.(value & opt (some string) None
+         & info [ "ckpt" ] ~docv:"DIR"
+             ~doc:"After the run, save a checkpoint of the session (weights + RNG cursor) \
+                   under DIR (see also the HECTOR_CKPT_DIR knob and `hector checkpoint`).")
+  in
+  let run model dataset compact fusion training max_edges trace_file ckpt_dir no_fuse =
     apply_no_fuse no_fuse;
     let graph = Ds.load ~max_edges (Ds.find dataset) in
     let compiled = compile_model model ~training ~compact ~fusion in
@@ -99,6 +109,12 @@ let cmd_run =
          let loss = Session.train_step session ~labels () in
          Printf.printf "loss: %.4f\n" loss
        else ignore (Session.forward session));
+      Option.iter
+        (fun dir ->
+          let step = if training then 1 else 0 in
+          let path = Checkpoint.save ~dir (Trainer.snapshot ~model ~step session) in
+          Printf.printf "checkpoint written to %s\n" path)
+        ckpt_dir;
       Printf.printf "simulated time (paper scale): %.3f ms\n"
         (Engine.elapsed_ms (Session.engine session));
       Printf.printf "peak device memory: %.2f GB\n"
@@ -118,7 +134,7 @@ let cmd_run =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a model on a dataset replica on the simulated GPU.")
     Term.(const run $ model_arg $ dataset_arg $ compact_arg $ fusion_arg $ training_arg
-          $ max_edges_arg $ trace_arg $ no_fuse_arg)
+          $ max_edges_arg $ trace_arg $ ckpt_arg $ no_fuse_arg)
 
 let cmd_datasets =
   let run max_edges =
@@ -186,12 +202,31 @@ let cmd_serve =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Print only the JSON load report.")
   in
+  let fault_rate_arg =
+    Arg.(value & opt (some float) None
+         & info [ "fault-rate" ] ~docv:"R"
+             ~doc:"Inject engine failures: each micro-batch fails with probability R in \
+                   [0,1] (deterministic in --fault-seed); failed members are retried once, \
+                   then shed.  Default: the HECTOR_FAULT_RATE knob, else off.")
+  in
+  let fault_seed_arg =
+    Arg.(value & opt int 1
+         & info [ "fault-seed" ] ~docv:"S" ~doc:"Seed of the injected fault plan.")
+  in
   let run model dataset max_edges rate requests seeds batch queue wait fanout hops seed json
-      no_fuse =
+      fault_rate fault_seed no_fuse =
     apply_no_fuse no_fuse;
     if rate <= 0.0 then (
       Printf.eprintf "hector serve: --rate must be positive\n";
       exit 2);
+    (match fault_rate with
+    | Some r when not (r >= 0.0 && r <= 1.0) ->
+        Printf.eprintf "hector serve: --fault-rate must be in [0,1]\n";
+        exit 2
+    | _ -> ());
+    let faults =
+      Option.map (fun r -> Fault.create ~seed:fault_seed ~rate:r ()) fault_rate
+    in
     let graph = Ds.load ~max_edges (Ds.find dataset) in
     let program = Hector_models.Model_defs.by_name model () in
     let config =
@@ -203,6 +238,7 @@ let cmd_serve =
         max_batch = batch;
         max_wait_ms = wait;
         queue_capacity = queue;
+        faults;
       }
     in
     let server = Serve.create ~config ~graph program in
@@ -224,7 +260,13 @@ let cmd_serve =
       Printf.printf "kernel launches per served request: %.2f\n" s.Serve.launches_per_request;
       Printf.printf "batch sizes:";
       List.iter (fun (sz, n) -> Printf.printf "  %dx%d" n sz) s.Serve.batch_histogram;
-      print_newline ()
+      print_newline ();
+      match Serve.faults server with
+      | Some plan ->
+          Printf.printf "faults: %d batch failures, %d requests shed after retry\n"
+            (Serve.batch_failures server) (Serve.fault_shed server);
+          List.iter (fun e -> Printf.printf "  %s\n" e) (Fault.trace plan)
+      | None -> ()
     end
   in
   Cmd.v
@@ -232,7 +274,7 @@ let cmd_serve =
        ~doc:"Serve batched inference requests over a dataset replica (simulated clock).")
     Term.(const run $ model_arg $ dataset_arg $ max_edges_arg $ rate_arg $ requests_arg
           $ seeds_arg $ batch_arg $ queue_arg $ wait_arg $ fanout_arg $ hops_arg $ seed_arg
-          $ json_arg $ no_fuse_arg)
+          $ json_arg $ fault_rate_arg $ fault_seed_arg $ no_fuse_arg)
 
 let cmd_stream =
   let module Delta = Hector_stream.Delta in
@@ -446,10 +488,137 @@ let cmd_autotune =
     Term.(const run $ model_arg $ dataset_arg $ training_arg $ max_edges_arg $ db_arg
           $ top_arg $ no_fuse_arg)
 
+let cmd_checkpoint =
+  let dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "dir" ] ~docv:"DIR"
+             ~doc:"Checkpoint directory (default: the HECTOR_CKPT_DIR knob).")
+  in
+  let steps_arg =
+    Arg.(value & opt int 6 & info [ "steps" ] ~docv:"N" ~doc:"Total training steps.")
+  in
+  let every_arg =
+    Arg.(value & opt int 2
+         & info [ "every" ] ~docv:"K" ~doc:"Save a checkpoint every K steps (0 = only at the end).")
+  in
+  let keep_arg =
+    Arg.(value & opt (some int) None
+         & info [ "keep" ] ~docv:"N"
+             ~doc:"Retain only the N newest checkpoints (default: HECTOR_CKPT_KEEP knob, \
+                   else keep all).")
+  in
+  let resume_arg =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Continue from the latest checkpoint in the directory instead of starting \
+                   fresh (replays onto the uninterrupted run's exact trajectory).")
+  in
+  let inspect_arg =
+    Arg.(value & opt (some string) None
+         & info [ "inspect" ] ~docv:"FILE"
+             ~doc:"Print a checkpoint file's header (model, step, tensors) and exit.")
+  in
+  let lr_arg =
+    Arg.(value & opt float 0.05 & info [ "lr" ] ~docv:"LR" ~doc:"Learning rate.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print only a JSON report.")
+  in
+  let run model dataset max_edges dir steps every keep resume inspect lr json no_fuse =
+    apply_no_fuse no_fuse;
+    match inspect with
+    | Some path -> (
+        match Checkpoint.load path with
+        | ck ->
+            if json then print_endline (String.sub (Checkpoint.encode ck) 0
+              (String.index (Checkpoint.encode ck) '\n'))
+            else begin
+              Printf.printf "model: %s\nstep: %d\nepoch: %d\ngraph version: %d\n"
+                (Checkpoint.model ck) (Checkpoint.step ck) (Checkpoint.epoch ck)
+                (Checkpoint.graph_version ck);
+              (match Checkpoint.rng ck with
+              | Some c -> Printf.printf "rng cursor: %Ld\n" c
+              | None -> ());
+              List.iter (fun (k, v) -> Printf.printf "meta %s: %s\n" k v) (Checkpoint.meta ck);
+              let params = ref 0 in
+              List.iter
+                (fun (name, w) ->
+                  let shape = Hector_tensor.Tensor.shape w in
+                  params := !params + Hector_tensor.Tensor.numel w;
+                  Printf.printf "tensor %-24s [%s]\n" name
+                    (String.concat "x" (Array.to_list (Array.map string_of_int shape))))
+                (Checkpoint.tensors ck);
+              Printf.printf "parameters: %d\n" !params
+            end
+        | exception Checkpoint.Corrupt msg ->
+            Printf.eprintf "hector checkpoint: %s\n" msg;
+            exit 1)
+    | None ->
+        if steps <= 0 then (
+          Printf.eprintf "hector checkpoint: --steps must be positive\n";
+          exit 2);
+        if every < 0 then (
+          Printf.eprintf "hector checkpoint: --every must be non-negative\n";
+          exit 2);
+        (match keep with
+        | Some k when k < 1 ->
+            Printf.eprintf "hector checkpoint: --keep must be >= 1\n";
+            exit 2
+        | _ -> ());
+        let dir =
+          match dir with
+          | Some d -> d
+          | None -> (
+              match (Hector_runtime.Knobs.current ()).Hector_runtime.Knobs.ckpt_dir with
+              | Some d -> d
+              | None ->
+                  Printf.eprintf
+                    "hector checkpoint: no directory (pass --dir or set HECTOR_CKPT_DIR)\n";
+                  exit 2)
+        in
+        let graph = Ds.load ~max_edges (Ds.find dataset) in
+        let compiled = compile_model model ~training:true ~compact:false ~fusion:false in
+        let labels =
+          Array.init graph.G.num_nodes (fun v -> (graph.G.node_type.(v) + v) mod 4)
+        in
+        let train = if resume then Trainer.resume else Trainer.fit in
+        let r = train ~dir ?keep ~every ~lr ~model ~graph ~labels ~steps compiled in
+        if json then begin
+          let losses =
+            String.concat ","
+              (Array.to_list (Array.map (Printf.sprintf "%.6f") r.Trainer.losses))
+          in
+          Printf.printf
+            "{\"model\":\"%s\",\"dataset\":\"%s\",\"start_step\":%d,\"steps\":%d,\"losses\":[%s],\"checkpoints\":%d}\n"
+            model dataset r.Trainer.start_step steps losses
+            (List.length r.Trainer.checkpoints)
+        end
+        else begin
+          if r.Trainer.start_step > 0 then
+            Printf.printf "resumed from step %d\n" r.Trainer.start_step;
+          Array.iteri
+            (fun i l -> Printf.printf "step %d  loss %.4f\n" (r.Trainer.start_step + i + 1) l)
+            r.Trainer.losses;
+          List.iter (fun p -> Printf.printf "saved %s\n" p) r.Trainer.checkpoints;
+          match Checkpoint.latest ~dir () with
+          | Some p -> Printf.printf "latest: %s\n" p
+          | None -> ()
+        end
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:"Checkpointed training over a dataset replica: fit with a save cadence, \
+             --resume from the latest checkpoint (bitwise-identical trajectory), or \
+             --inspect a checkpoint file.  Directories and retention follow the \
+             HECTOR_CKPT_DIR / HECTOR_CKPT_KEEP knobs; fault injection follows \
+             HECTOR_FAULT_RATE / HECTOR_FAULT_SEED.")
+    Term.(const run $ model_arg $ dataset_arg $ max_edges_arg $ dir_arg $ steps_arg
+          $ every_arg $ keep_arg $ resume_arg $ inspect_arg $ lr_arg $ json_arg $ no_fuse_arg)
+
 let () =
   let info = Cmd.info "hector" ~version:"1.0" ~doc:"Hector RGNN compiler (GPU-simulated)." in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ cmd_compile; cmd_run; cmd_serve; cmd_stream; cmd_partition; cmd_datasets;
-            cmd_baselines; cmd_autotune ]))
+          [ cmd_compile; cmd_run; cmd_serve; cmd_stream; cmd_partition; cmd_checkpoint;
+            cmd_datasets; cmd_baselines; cmd_autotune ]))

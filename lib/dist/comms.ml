@@ -1,14 +1,20 @@
 module Engine = Hector_gpu.Engine
 module Kernel = Hector_gpu.Kernel
 module Knobs = Hector_runtime.Knobs
+module Fault = Hector_ckpt.Fault
 
-type t = { latency_us : float; bandwidth_gbs : float; channels : int }
+type t = {
+  latency_us : float;
+  bandwidth_gbs : float;
+  channels : int;
+  faults : Fault.t option;
+}
 
 let default_latency_us = 5.0
 let default_bandwidth_gbs = 25.0
 let default_channels = 2
 
-let create ?latency_us ?bandwidth_gbs ?channels () =
+let create ?latency_us ?bandwidth_gbs ?channels ?faults () =
   let knobs = Knobs.current () in
   let pick v knob ~default =
     match v with
@@ -25,7 +31,8 @@ let create ?latency_us ?bandwidth_gbs ?channels () =
   if latency_us <= 0.0 then invalid_arg "Comms.create: latency must be positive";
   if bandwidth_gbs <= 0.0 then invalid_arg "Comms.create: bandwidth must be positive";
   if channels < 1 then invalid_arg "Comms.create: channel count must be positive";
-  { latency_us; bandwidth_gbs; channels }
+  let faults = match faults with Some _ -> faults | None -> Fault.of_knobs () in
+  { latency_us; bandwidth_gbs; channels; faults }
 
 let default () = create ()
 
@@ -40,7 +47,36 @@ let cost_ms c ~messages ~bytes =
    waiting on it is free, so call sites need no special-casing. *)
 type handle =
   | Done
-  | Pending of { engine : Engine.t; op : string; completion_ms : float }
+  | Pending of {
+      engine : Engine.t;
+      op : string;
+      completion_ms : float;
+      faults : Fault.t option;
+    }
+
+(* Fault injection at the post site: each dropped attempt burns the full
+   transfer time plus an exponential backoff before the retry, all riding
+   the same posted event (one launch either way — the zero-overhead pin
+   only concerns the no-plan path, which never reaches here).  The final
+   attempt always delivers; a peer that never answers is modelled by the
+   crash site in {!Failover}, not here. *)
+let fault_extra_ms plan ~base ~op =
+  let site = "comms.post:" ^ op in
+  let extra = ref 0.0 in
+  (try
+     for attempt = 0 to Fault.max_attempts - 2 do
+       match Fault.message_outcome plan ~site with
+       | Fault.Pass -> raise Exit
+       | Fault.Drop ->
+           Fault.record plan (Fault.Dropped { site; attempt });
+           extra := !extra +. base +. Fault.backoff_ms attempt
+       | Fault.Delay ms ->
+           Fault.record plan (Fault.Delayed { site; ms });
+           extra := !extra +. ms;
+           raise Exit
+     done
+   with Exit -> ());
+  !extra
 
 let post c ?ready engine ~chan ~op ~messages ~bytes =
   if messages < 0 then invalid_arg "Comms.post: negative message count";
@@ -49,6 +85,11 @@ let post c ?ready engine ~chan ~op ~messages ~bytes =
   if messages = 0 then Done
   else begin
     let ms = cost_ms c ~messages ~bytes in
+    let ms =
+      match c.faults with
+      | None -> ms
+      | Some plan -> ms +. fault_extra_ms plan ~base:ms ~op
+    in
     (* Callers address channels by peer/bucket index; fold onto the
        configured lane count so the same code works for any [channels]. *)
     let chan = chan mod c.channels in
@@ -59,12 +100,25 @@ let post c ?ready engine ~chan ~op ~messages ~bytes =
            ~provenance:(Kernel.provenance ~origin:"dist.comms" op)
            ())
     in
-    Pending { engine; op; completion_ms }
+    Pending { engine; op; completion_ms; faults = c.faults }
   end
 
 let wait = function
   | Done -> ()
-  | Pending { engine; op; completion_ms } -> Engine.wait_until engine ~op completion_ms
+  | Pending { engine; op; completion_ms; faults } ->
+      let completion_ms =
+        match faults with
+        | Some plan when Fault.rate plan > 0.0 ->
+            let site = "comms.wait:" ^ op in
+            if Fault.uniform plan ~site < Fault.rate plan then begin
+              let ms = 0.02 +. (0.08 *. Fault.uniform plan ~site) in
+              Fault.record plan (Fault.Delayed { site; ms });
+              completion_ms +. ms
+            end
+            else completion_ms
+        | _ -> completion_ms
+      in
+      Engine.wait_until engine ~op completion_ms
 
 let completion_ms = function Done -> 0.0 | Pending p -> p.completion_ms
 

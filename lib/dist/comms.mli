@@ -31,12 +31,31 @@ type t = {
   latency_us : float;  (** per-message fixed cost, microseconds *)
   bandwidth_gbs : float;  (** link bandwidth, GB/s *)
   channels : int;  (** concurrent transfer channels (≥ 1) *)
+  faults : Hector_ckpt.Fault.t option;
+      (** fault-injection plan consulted at {!post}/{!wait}; [None] (the
+          default when the [HECTOR_FAULT_*] knobs are unset) is the exact
+          pre-fault code path *)
 }
 
-val create : ?latency_us:float -> ?bandwidth_gbs:float -> ?channels:int -> unit -> t
+val create :
+  ?latency_us:float ->
+  ?bandwidth_gbs:float ->
+  ?channels:int ->
+  ?faults:Hector_ckpt.Fault.t ->
+  unit ->
+  t
 (** Build an interconnect model.  Omitted parameters fall back to the
     [HECTOR_DIST_*] knobs, then to the built-in defaults (5 µs, 25 GB/s,
-    2 channels).  Raises [Invalid_argument] on non-positive values. *)
+    2 channels); [faults] falls back to {!Hector_ckpt.Fault.of_knobs}
+    (usually [None]).  Raises [Invalid_argument] on non-positive values.
+
+    With a fault plan attached, each posted transfer may be {e dropped}
+    (the sender retries after exponential backoff, burning the transfer
+    time again, up to {!Hector_ckpt.Fault.max_attempts} attempts — the
+    last always delivers) or {e delayed} by bounded jitter, and waits may
+    observe an extra completion delay.  All injected cost rides the
+    simulated clock through the same posted event, and every decision is
+    recorded into the plan's trace. *)
 
 val default : unit -> t
 (** [create ()] — knob-driven defaults. *)

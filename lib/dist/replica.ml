@@ -30,6 +30,7 @@ module Config = struct
     overlap : bool;
     pipeline : int option;
     bucket_kb : int option;
+    weights : (string * Tensor.t) list list option;
   }
 
   let default =
@@ -43,6 +44,7 @@ module Config = struct
       overlap = true;
       pipeline = None;
       bucket_kb = None;
+      weights = None;
     }
 end
 
@@ -179,8 +181,8 @@ let make_buckets (backward : Plan.t) ~bucket_bytes reduce_scratch =
   flush ();
   Array.of_list (List.rev !buckets)
 
-let create ?(config = Config.default) ?parts ?slack ?comms ?device ?seed ?obs ~features
-    ~(graph : G.t) layers =
+let create ?(config = Config.default) ?parts ?slack ?comms ?device ?seed ?obs ?weights
+    ~features ~(graph : G.t) layers =
   if layers = [] then invalid_arg "Replica.create: empty layer stack";
   let knobs = Knobs.current () in
   (* legacy labels override the config record, field by field *)
@@ -193,6 +195,7 @@ let create ?(config = Config.default) ?parts ?slack ?comms ?device ?seed ?obs ~f
       device = Option.value device ~default:config.Config.device;
       seed = Option.value seed ~default:config.Config.seed;
       obs = (match obs with Some _ -> obs | None -> config.Config.obs);
+      weights = (match weights with Some _ -> weights | None -> config.Config.weights);
     }
   in
   let parts =
@@ -234,8 +237,20 @@ let create ?(config = Config.default) ?parts ?slack ?comms ?device ?seed ?obs ~f
     Array.of_list layers
     |> Array.mapi (fun l compiled ->
            let feature_name, in_dim, out_name = layer_io compiled in
+           (* restored weights (e.g. from a checkpoint) replace the Glorot
+              draw for this layer; omitted layers still draw as usual *)
+           let restored =
+             match cfg.Config.weights with
+             | Some wss when l < List.length wss -> List.nth wss l
+             | _ -> []
+           in
            let probe_cfg =
-             { Session.Config.default with Session.Config.device; seed = seed + (l * 1009) }
+             {
+               Session.Config.default with
+               Session.Config.device;
+               seed = seed + (l * 1009);
+               weights = restored;
+             }
            in
            let probe = Session.create ~config:probe_cfg ~graph compiled in
            {

@@ -74,6 +74,10 @@ module Config : sig
     bucket_kb : int option;
         (** gradient all-reduce bucket size in KiB; [None] →
             [HECTOR_DIST_BUCKET_KB] → 64 *)
+    weights : (string * Tensor.t) list list option;
+        (** per-layer master weight stacks to start from instead of the
+            Glorot draw — the checkpoint-restore path ([None] = draw from
+            the seed; layers beyond the list length still draw) *)
   }
 
   val default : t
@@ -90,6 +94,7 @@ val create :
   ?device:Hector_gpu.Device.t ->
   ?seed:int ->
   ?obs:Hector_obs.t ->
+  ?weights:(string * Tensor.t) list list ->
   features:Tensor.t ->
   graph:Hector_graph.Hetgraph.t ->
   Hector_core.Compiler.compiled list ->
@@ -109,7 +114,10 @@ val create :
 
     Master weights are drawn once (Glorot, from the seed) and deep-copied
     into every replica, so all replicas start identical; retrieve them with
-    {!master_weights} to build a bit-identical reference session.  Raises
+    {!master_weights} to build a bit-identical reference session.  Passing
+    [weights] (per-layer stacks, e.g. from a loaded
+    {!Hector_ckpt.Checkpoint}) replaces the draw — the restore path used
+    by {!Failover} recovery.  Raises
     [Invalid_argument] on unsupported programs, mismatched widths or bad
     partition/pipeline/bucket parameters. *)
 

@@ -16,6 +16,10 @@ type t = {
   tune_db : string option;
   stream_slack : float option;
   stream_compact : float option;
+  ckpt_dir : string option;
+  ckpt_keep : int option;
+  fault_seed : int option;
+  fault_rate : float option;
 }
 
 let defaults =
@@ -35,6 +39,10 @@ let defaults =
     tune_db = None;
     stream_slack = None;
     stream_compact = None;
+    ckpt_dir = None;
+    ckpt_keep = None;
+    fault_seed = None;
+    fault_rate = None;
   }
 
 let truthy s =
@@ -47,44 +55,59 @@ let falsy s =
   | "0" | "false" | "no" | "off" -> true
   | _ -> false
 
+(* A malformed value is a configuration error: surface it loudly with the
+   variable name, the offending value and what would have been accepted,
+   instead of silently falling back to a default the operator did not ask
+   for. *)
+let malformed name value expected =
+  invalid_arg
+    (Printf.sprintf "Knobs: %s=%S is malformed (expected %s)" name value expected)
+
 let parse getenv =
-  let domains =
-    match getenv "HECTOR_DOMAINS" with
-    | None -> None
-    | Some s -> (
-        match int_of_string_opt (String.trim s) with
-        | Some n when n >= 1 -> Some (min n Domain_pool.max_domains)
-        | _ -> None)
+  (* a set-but-blank variable reads as unset everywhere, matching shell
+     idiom (VAR= ./prog) *)
+  let getenv name =
+    match getenv name with
+    | Some s when String.trim s = "" -> None
+    | v -> v
   in
-  let arena = match getenv "HECTOR_ARENA" with None -> true | Some s -> not (falsy s) in
-  let fuse_ops =
-    match getenv "HECTOR_FUSE_OPS" with None -> true | Some s -> not (falsy s)
+  let flag name ~default =
+    match getenv name with
+    | None -> default
+    | Some s ->
+        if truthy s then true
+        else if falsy s then false
+        else malformed name s "a boolean (1/0, true/false, yes/no, on/off)"
   in
-  let obs = match getenv "HECTOR_OBS" with None -> false | Some s -> truthy s in
-  let positive name =
+  let arena = flag "HECTOR_ARENA" ~default:true in
+  let fuse_ops = flag "HECTOR_FUSE_OPS" ~default:true in
+  let obs = flag "HECTOR_OBS" ~default:false in
+  let int_where name pred expected =
     match getenv name with
     | None -> None
     | Some s -> (
         match int_of_string_opt (String.trim s) with
-        | Some n when n >= 1 -> Some n
-        | _ -> None)
+        | Some n when pred n -> Some n
+        | _ -> malformed name s expected)
   in
-  let serve_batch = positive "HECTOR_SERVE_BATCH" in
-  let serve_queue = positive "HECTOR_SERVE_QUEUE" in
-  let positive_float name =
+  let positive name = int_where name (fun n -> n >= 1) "a positive integer" in
+  let float_where name pred expected =
     match getenv name with
     | None -> None
     | Some s -> (
         match float_of_string_opt (String.trim s) with
-        | Some f when f > 0.0 && Float.is_finite f -> Some f
-        | _ -> None)
+        | Some f when Float.is_finite f && pred f -> Some f
+        | _ -> malformed name s expected)
   in
+  let positive_float name = float_where name (fun f -> f > 0.0) "a positive number" in
+  let path name = Option.map String.trim (getenv name) in
+  let domains =
+    Option.map (fun n -> min n Domain_pool.max_domains) (positive "HECTOR_DOMAINS")
+  in
+  let serve_batch = positive "HECTOR_SERVE_BATCH" in
+  let serve_queue = positive "HECTOR_SERVE_QUEUE" in
   let dist_parts = positive "HECTOR_DIST_PARTS" in
-  let tune_db =
-    match getenv "HECTOR_TUNE_DB" with
-    | None -> None
-    | Some s -> ( match String.trim s with "" -> None | p -> Some p)
-  in
+  let tune_db = path "HECTOR_TUNE_DB" in
   let dist_latency_us = positive_float "HECTOR_DIST_LATENCY_US" in
   let dist_bandwidth_gbs = positive_float "HECTOR_DIST_BW_GBS" in
   let dist_channels = positive "HECTOR_DIST_CHANNELS" in
@@ -92,17 +115,20 @@ let parse getenv =
   let dist_pipeline = positive "HECTOR_DIST_PIPELINE" in
   (* slack may be 0 (every growth step re-warms) but not negative *)
   let stream_slack =
-    match getenv "HECTOR_STREAM_SLACK" with
-    | None -> None
-    | Some s -> (
-        match float_of_string_opt (String.trim s) with
-        | Some f when f >= 0.0 && Float.is_finite f -> Some f
-        | _ -> None)
+    float_where "HECTOR_STREAM_SLACK" (fun f -> f >= 0.0) "a non-negative number"
   in
   let stream_compact =
-    match positive_float "HECTOR_STREAM_COMPACT" with
-    | Some f when f <= 1.0 -> Some f
-    | _ -> None
+    float_where "HECTOR_STREAM_COMPACT"
+      (fun f -> f > 0.0 && f <= 1.0)
+      "a fraction in (0, 1]"
+  in
+  let ckpt_dir = path "HECTOR_CKPT_DIR" in
+  let ckpt_keep = positive "HECTOR_CKPT_KEEP" in
+  let fault_seed = int_where "HECTOR_FAULT_SEED" (fun _ -> true) "an integer" in
+  let fault_rate =
+    float_where "HECTOR_FAULT_RATE"
+      (fun f -> f >= 0.0 && f <= 1.0)
+      "a probability in [0, 1]"
   in
   {
     domains;
@@ -120,6 +146,10 @@ let parse getenv =
     tune_db;
     stream_slack;
     stream_compact;
+    ckpt_dir;
+    ckpt_keep;
+    fault_seed;
+    fault_rate;
   }
 
 let cache : t option ref = ref None

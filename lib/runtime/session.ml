@@ -46,6 +46,7 @@ type t = {
   compiled : Compiler.compiled;
   fused_weight_names : string list;
   outputs : (string * int) list;  (* name, dim *)
+  rng : Rng.t;  (* the init generator, kept for checkpointing its cursor *)
 }
 
 let fused_outs ops =
@@ -176,12 +177,14 @@ let create ?(config = Config.default) ?device ?seed ?trace ?memory_planner ?node
         | None -> invalid_arg (Printf.sprintf "Session: output %S not produced" o))
       program.Ir.outputs
   in
-  { exec; compiled; fused_weight_names = fused; outputs }
+  { exec; compiled; fused_weight_names = fused; outputs; rng }
 
 let exec t = t.exec
 let engine t = t.exec.Exec.engine
 let obs t = Engine.obs t.exec.Exec.engine
 let weights t = Env.weights t.exec.Exec.env
+let set_weights t ws = Train.set_weights ~exec:t.exec ws
+let rng_state t = Rng.state t.rng
 let weight_grads t = Env.weight_grads t.exec.Exec.env
 let reset_clock ?keep_events t = Engine.reset_clock ?keep_events t.exec.Exec.engine
 let metrics_json t =

@@ -134,6 +134,17 @@ val chrome_trace : t -> string
 val weights : t -> (string * Tensor.t) list
 (** Current parameter stacks (live references). *)
 
+val set_weights : t -> (string * Tensor.t) list -> unit
+(** Restore parameter values in place ({!Train.set_weights}): the
+    checkpoint-restore path.  Engine allocations, gradient bindings and
+    arena backings all survive, so a restored session trains bit-
+    identically to one that never stopped. *)
+
+val rng_state : t -> int64
+(** Cursor of the session's initialization generator
+    ({!Hector_tensor.Rng.state}) — serialized into checkpoints so resumed
+    runs draw the continuation of the same stream. *)
+
 val weight_grads : t -> (string * Tensor.t) list
 (** Gradient stacks accumulated by the last backward pass that has not yet
     been consumed by SGD. *)

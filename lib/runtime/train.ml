@@ -115,6 +115,28 @@ let backprop_weight_ops ~(exec : Exec.t) ops =
                    ~provenance:(Kernel.provenance ~origin:"linear_fusion" out) ())))
     (List.rev ops)
 
+(* Restore parameter values in place — the checkpoint/restore path.  Every
+   named tensor must already exist with the same shape; copying into the
+   existing storage (rather than rebinding) keeps persistent engine
+   allocations, gradient bindings and arena backings alive across a
+   restore, so a resumed session is bit-identical to one that never
+   stopped.  Names the environment does not know are skipped: checkpoints
+   may carry fusion-computed products that a differently-compiled restore
+   target recomputes instead of binding. *)
+let set_weights ~(exec : Exec.t) ws =
+  let env = exec.Exec.env in
+  List.iter
+    (fun (name, src) ->
+      match Env.weight_opt env name with
+      | None -> ()
+      | Some dst ->
+          if Tensor.shape dst <> Tensor.shape src then
+            invalid_arg
+              (Printf.sprintf "Train.set_weights: shape mismatch for %S" name);
+          Tensor.fill dst 0.0;
+          Tensor.add_inplace dst src)
+    ws
+
 let sgd_step ?(skip = []) ~(exec : Exec.t) ~lr () =
   let env = exec.Exec.env in
   List.iter

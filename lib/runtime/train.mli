@@ -23,6 +23,15 @@ val backprop_weight_ops :
     backward of the prologue [bmm()]s).  No-op for weights whose gradients
     were never touched. *)
 
+val set_weights : exec:Exec.t -> (string * Tensor.t) list -> unit
+(** Restore parameter {e values} in place — the checkpoint/restore path.
+    Copies each named tensor into the environment's existing weight
+    storage, so persistent allocations, gradient bindings and arena
+    backings survive; a restored session is bit-identical to one that
+    never stopped.  Unknown names are skipped (fusion-computed products are
+    recomputed, not bound); raises [Invalid_argument] on a shape
+    mismatch. *)
+
 val sgd_step : ?skip:string list -> exec:Exec.t -> lr:float -> unit -> unit
 (** [w ← w - lr·dw] for every weight with an accumulated gradient, then
     zero all gradients.  [skip] names weights that are not parameters

@@ -136,9 +136,10 @@ let options_fields (o : Compiler.options) =
 
 (* --- JSON -------------------------------------------------------------- *)
 
-(* The repository carries no JSON dependency; the DB schema is fixed and
-   flat, so a ~60-line value parser suffices. *)
-type json =
+(* The DB schema is fixed and flat; reading goes through the shared
+   {!Json_lite} value parser, writing stays Printf-based below. *)
+
+type json = Json_lite.t =
   | Null
   | Bool of bool
   | Num of float
@@ -149,139 +150,9 @@ type json =
 exception Malformed
 
 let parse_json s =
-  let n = String.length s in
-  let i = ref 0 in
-  let peek () = if !i < n then s.[!i] else raise Malformed in
-  let skip_ws () =
-    while !i < n && (match s.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
-      incr i
-    done
-  in
-  let expect c = if !i < n && s.[!i] = c then incr i else raise Malformed in
-  let literal lit v =
-    let l = String.length lit in
-    if !i + l <= n && String.equal (String.sub s !i l) lit then (
-      i := !i + l;
-      v)
-    else raise Malformed
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      if !i >= n then raise Malformed
-      else
-        match s.[!i] with
-        | '"' -> incr i
-        | '\\' ->
-            incr i;
-            (match peek () with
-            | '"' -> Buffer.add_char b '"'
-            | '\\' -> Buffer.add_char b '\\'
-            | '/' -> Buffer.add_char b '/'
-            | 'n' -> Buffer.add_char b '\n'
-            | 't' -> Buffer.add_char b '\t'
-            | 'r' -> Buffer.add_char b '\r'
-            | 'b' -> Buffer.add_char b '\b'
-            | 'u' ->
-                (* the writer never emits \u, but tolerate it as '?' *)
-                if !i + 4 >= n then raise Malformed;
-                i := !i + 4;
-                Buffer.add_char b '?'
-            | _ -> raise Malformed);
-            incr i;
-            go ()
-        | c ->
-            Buffer.add_char b c;
-            incr i;
-            go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let parse_number () =
-    let start = !i in
-    while
-      !i < n
-      && match s.[!i] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
-    do
-      incr i
-    done;
-    match float_of_string_opt (String.sub s start (!i - start)) with
-    | Some f -> f
-    | None -> raise Malformed
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | '"' -> Str (parse_string ())
-    | '{' ->
-        incr i;
-        skip_ws ();
-        if peek () = '}' then (
-          incr i;
-          Obj [])
-        else
-          let rec members acc =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | ',' ->
-                incr i;
-                members ((k, v) :: acc)
-            | '}' ->
-                incr i;
-                Obj (List.rev ((k, v) :: acc))
-            | _ -> raise Malformed
-          in
-          members []
-    | '[' ->
-        incr i;
-        skip_ws ();
-        if peek () = ']' then (
-          incr i;
-          Arr [])
-        else
-          let rec elems acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | ',' ->
-                incr i;
-                elems (v :: acc)
-            | ']' ->
-                incr i;
-                Arr (List.rev (v :: acc))
-            | _ -> raise Malformed
-          in
-          elems []
-    | 't' -> Bool (literal "true" true)
-    | 'f' -> Bool (literal "false" false)
-    | 'n' -> literal "null" Null
-    | _ -> Num (parse_number ())
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !i <> n then raise Malformed;
-  v
+  match Json_lite.parse s with v -> v | exception Json_lite.Malformed -> raise Malformed
 
-let escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let escape = Json_lite.escape
 
 let field_to_json = function
   | `Bool b -> if b then "true" else "false"
@@ -317,12 +188,7 @@ let to_json t =
   Buffer.add_string b "\n]}\n";
   Buffer.contents b
 
-let save t path =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  output_string oc (to_json t);
-  close_out oc;
-  Sys.rename tmp path
+let save t path = Json_lite.write_atomic path (to_json t)
 
 (* --- decoding ---------------------------------------------------------- *)
 
@@ -400,10 +266,9 @@ let of_json s =
 let load path =
   if not (Sys.file_exists path) then create ()
   else
-    let ic = open_in_bin path in
-    let len = in_channel_length ic in
-    let s = really_input_string ic len in
-    close_in ic;
-    (* a corrupt or foreign file is treated as empty: tuning falls back to
-       the search path rather than failing the caller *)
+    let s = Json_lite.read_file path in
+    (* a corrupt or foreign file (e.g. the torso a crashed in-place writer
+       would have left — impossible since saves go through write_atomic,
+       but clients may hand us anything) is treated as empty: tuning falls
+       back to the search path rather than failing the caller *)
     match of_json s with db -> db | exception (Malformed | Invalid_argument _) -> create ()

@@ -54,7 +54,11 @@ val load : string -> t
     empty database (tuning then falls back to searching). *)
 
 val save : t -> string -> unit
-(** Write the database as JSON (atomically, via a [.tmp] rename). *)
+(** Write the database as JSON through {!Json_lite.write_atomic}: the
+    payload lands in a pid-suffixed temporary and reaches the target path
+    only by rename, so a crash mid-save can never leave a truncated
+    database (and {!load} additionally treats any corrupt file as
+    empty). *)
 
 val record :
   t ->
@@ -84,5 +88,10 @@ val entries : t -> entry list
 val to_json : t -> string
 (** The serialized form {!save} writes (exposed for tests). *)
 
+exception Malformed
+(** Raised by {!of_json} on input that is not a well-formed database —
+    including the torso a torn (partial) write would leave. *)
+
 val of_json : string -> t
-(** Parse {!to_json} output; raises on malformed input (unlike {!load}). *)
+(** Parse {!to_json} output; raises {!Malformed} on malformed input
+    (unlike {!load}). *)

@@ -16,6 +16,7 @@ module Env = Hector_runtime.Env
 module Knobs = Hector_runtime.Knobs
 module Tuning_db = Hector_runtime.Tuning_db
 module Graph_ctx = Hector_runtime.Graph_ctx
+module Fault = Hector_ckpt.Fault
 
 type config = {
   model : string;
@@ -31,6 +32,7 @@ type config = {
   seed : int;
   weights : (string * Tensor.t) list;
   epoch : int;
+  faults : Fault.t option;
 }
 
 let default_config =
@@ -48,6 +50,7 @@ let default_config =
     seed = 1;
     weights = [];
     epoch = 0;
+    faults = None;
   }
 
 type response = {
@@ -89,6 +92,9 @@ type t = {
   mutable shed : int;
   mutable rejected : int;  (* invalid seeds (e.g. tombstoned nodes), never enqueued *)
   mutable batches : int;
+  faults : Fault.t option;  (* engine-failure injection; [None] = pre-fault path *)
+  mutable batch_failures : int;  (* micro-batches that failed mid-execution *)
+  mutable fault_shed : int;  (* requests shed after their retry also failed (⊆ shed) *)
   mutable latencies : float list;  (* served requests only *)
   mutable queue_waits : float list;
   batch_hist : (int, int) Hashtbl.t;
@@ -252,6 +258,9 @@ let create ?(config = default_config) ?obs ~graph program =
     shed = 0;
     rejected = 0;
     batches = 0;
+    faults = (match config.faults with Some _ -> config.faults | None -> Fault.of_knobs ());
+    batch_failures = 0;
+    fault_shed = 0;
     latencies = [];
     queue_waits = [];
     batch_hist = Hashtbl.create 8;
@@ -416,6 +425,9 @@ let serve t (requests : Workload.request array) =
     (* the response stays a shed record: no output *)
   in
   let queue : (int * Workload.request) Queue.t = Queue.create () in
+  (* per-request retry flags, allocated only under fault injection: a
+     request whose batch fails is retried once, then shed (witnessed) *)
+  let retried = match t.faults with None -> [||] | Some _ -> Array.make n false in
   let next = ref 0 in
   let server_free = ref 0.0 in
   let last_finish = ref 0.0 in
@@ -454,6 +466,7 @@ let serve t (requests : Workload.request array) =
       let bsize = min t.max_batch (Queue.length queue) in
       let members = Array.init bsize (fun _ -> Queue.pop queue) in
       let batch = Array.map snd members in
+      let batch_id = t.batches in
       let outs, sample_ms, transfer_ms, compute_ms = run_batch t batch in
       let finish = dispatch_at +. sample_ms +. transfer_ms +. compute_ms in
       server_free := finish;
@@ -462,26 +475,63 @@ let serve t (requests : Workload.request array) =
       Hector_obs.add t.obs "serve.batches" 1;
       Hashtbl.replace t.batch_hist bsize
         (1 + Option.value (Hashtbl.find_opt t.batch_hist bsize) ~default:0);
-      Array.iteri
-        (fun k (idx, r) ->
-          let queue_ms = dispatch_at -. r.Workload.arrival_ms in
-          let latency_ms = finish -. r.Workload.arrival_ms in
-          t.served <- t.served + 1;
-          Hector_obs.add t.obs "serve.served" 1;
-          t.latencies <- latency_ms :: t.latencies;
-          t.queue_waits <- queue_ms :: t.queue_waits;
-          responses.(idx) <-
-            {
-              request = r;
-              output = Some outs.(k);
-              batch_size = bsize;
-              queue_ms;
-              sample_ms;
-              transfer_ms;
-              compute_ms;
-              latency_ms;
-            })
-        members
+      let failed =
+        match t.faults with
+        | None -> false
+        | Some plan -> Fault.fail_batch plan ~batch:batch_id
+      in
+      if failed then begin
+        (* engine failure mid-batch: the full batch cost was charged, the
+           outputs are lost.  Each member is retried once at the head of
+           the queue; a member whose retry also failed is shed — counted,
+           recorded, never silently dropped. *)
+        let plan = Option.get t.faults in
+        t.batch_failures <- t.batch_failures + 1;
+        Hector_obs.add t.obs "serve.batch_failures" 1;
+        Fault.record plan (Fault.Batch_failed { batch = batch_id });
+        let requeue = Queue.create () in
+        Array.iter
+          (fun (idx, r) ->
+            if retried.(idx) then begin
+              t.shed <- t.shed + 1;
+              t.fault_shed <- t.fault_shed + 1;
+              Hector_obs.add t.obs "serve.shed" 1;
+              Hector_obs.add t.obs "serve.fault_shed" 1;
+              Fault.record plan (Fault.Request_shed { request = r.Workload.id })
+              (* responses.(idx) is already a shed record *)
+            end
+            else begin
+              retried.(idx) <- true;
+              Hector_obs.add t.obs "serve.fault_retries" 1;
+              Fault.record plan (Fault.Request_retried { request = r.Workload.id });
+              Queue.add (idx, r) requeue
+            end)
+          members;
+        (* retried members go to the head so their wait stays bounded *)
+        Queue.transfer queue requeue;
+        Queue.transfer requeue queue
+      end
+      else
+        Array.iteri
+          (fun k (idx, r) ->
+            let queue_ms = dispatch_at -. r.Workload.arrival_ms in
+            let latency_ms = finish -. r.Workload.arrival_ms in
+            t.served <- t.served + 1;
+            Hector_obs.add t.obs "serve.served" 1;
+            t.latencies <- latency_ms :: t.latencies;
+            t.queue_waits <- queue_ms :: t.queue_waits;
+            responses.(idx) <-
+              {
+                request = r;
+                output = Some outs.(k);
+                batch_size = bsize;
+                queue_ms;
+                sample_ms;
+                transfer_ms;
+                compute_ms;
+                latency_ms;
+              })
+          members
     end
   done;
   t.sim_ms <- t.sim_ms +. !last_finish;
@@ -560,6 +610,8 @@ let metrics_json t =
       M.int "shed" s.lshed;
       M.int "rejected" t.rejected;
       M.int "batches" s.lbatches;
+      M.int "batch_failures" t.batch_failures;
+      M.int "fault_shed" t.fault_shed;
       M.float "mean_batch" s.mean_batch;
       M.float "throughput_rps" s.throughput_rps;
       M.raw "latency_ms"
@@ -586,6 +638,9 @@ let obs t = t.obs
 let served t = t.served
 let shed t = t.shed
 let rejected t = t.rejected
+let batch_failures t = t.batch_failures
+let fault_shed t = t.fault_shed
+let faults t = t.faults
 let graph t = t.graph
 let slab_epoch t = Exec.slab_epoch t.slab
 let node_capacity t = t.node_capacity

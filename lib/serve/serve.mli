@@ -68,6 +68,14 @@ type config = {
           streaming invalidation protocol: backings tagged with an epoch
           survive every in-slack {!update_graph} and are retired wholesale
           when the epoch advances (default [0] for non-streaming use) *)
+  faults : Hector_ckpt.Fault.t option;
+      (** engine-failure injection plan ([None], the default, falls back
+          to {!Hector_ckpt.Fault.of_knobs} — usually disabled).  A batch
+          the plan fails charges its full cost but loses its outputs; its
+          requests are retried once at the head of the queue, then shed —
+          counted in {!fault_shed} (and {!shed}) and recorded into the
+          plan's trace, never silently dropped.  Without a plan the
+          serving loop is the exact pre-fault code path. *)
 }
 
 val default_config : config
@@ -182,6 +190,19 @@ val shed : t -> int
 val rejected : t -> int
 (** Requests refused for invalid seeds (see {!serve}); disjoint from
     {!shed}. *)
+
+val batch_failures : t -> int
+(** Micro-batches that failed mid-execution under fault injection (cost
+    charged, outputs lost, members retried). *)
+
+val fault_shed : t -> int
+(** Requests shed because their retry after a batch failure also failed —
+    a subset of {!shed}, so [served + shed + rejected] still accounts for
+    every request. *)
+
+val faults : t -> Hector_ckpt.Fault.t option
+(** The replica's fault plan, if any — its event trace witnesses every
+    failure, retry and shed decision. *)
 
 val graph : t -> Hector_graph.Hetgraph.t
 (** The snapshot currently served (the latest {!update_graph}, or the

@@ -16,6 +16,8 @@ type t = {
   mutable retired_served : int;
   mutable retired_shed : int;
   mutable retired_rejected : int;
+  mutable retired_batch_failures : int;
+  mutable retired_fault_shed : int;
   mutable retired_launches : int;
   mutable retired_ms : float;
   mutable c_rewarms : int;
@@ -61,6 +63,8 @@ let create ?(config = Serve.default_config) ?obs ~mg program =
     retired_served = 0;
     retired_shed = 0;
     retired_rejected = 0;
+    retired_batch_failures = 0;
+    retired_fault_shed = 0;
     retired_launches = 0;
     retired_ms = 0.0;
     c_rewarms = 0;
@@ -72,6 +76,8 @@ let retire t =
   t.retired_served <- t.retired_served + Serve.served t.live;
   t.retired_shed <- t.retired_shed + Serve.shed t.live;
   t.retired_rejected <- t.retired_rejected + Serve.rejected t.live;
+  t.retired_batch_failures <- t.retired_batch_failures + Serve.batch_failures t.live;
+  t.retired_fault_shed <- t.retired_fault_shed + Serve.fault_shed t.live;
   t.retired_launches <- t.retired_launches + Serve.launches t.live;
   t.retired_ms <- t.retired_ms +. Engine.elapsed_ms (Serve.engine t.live)
 
@@ -207,6 +213,8 @@ let recompiles t = t.retired_misses + Plan_cache.misses (Serve.plan_cache t.live
 let served t = t.retired_served + Serve.served t.live
 let shed t = t.retired_shed + Serve.shed t.live
 let rejected t = t.retired_rejected + Serve.rejected t.live
+let batch_failures t = t.retired_batch_failures + Serve.batch_failures t.live
+let fault_shed t = t.retired_fault_shed + Serve.fault_shed t.live
 let rewarms t = t.c_rewarms
 let update_ms t = t.c_update_ms
 let mutable_graph t = t.mg
@@ -238,4 +246,16 @@ let metrics_json t =
       M.int "served" (served t);
       M.int "shed" (shed t);
       M.int "rejected" (rejected t);
+      M.int "batch_failures" (batch_failures t);
+      M.int "fault_shed" (fault_shed t);
     ]
+
+(* The subsystem's restorable state: the pinned weight set (invariant
+   across re-warms) plus the mutable graph's epoch/version cursor, so a
+   restarted server knows which capacity epoch and delta generation its
+   weights correspond to. *)
+let checkpoint t =
+  Hector_ckpt.Checkpoint.create ~model:t.base_config.Serve.model
+    ~epoch:(Mutable_graph.epoch t.mg)
+    ~graph_version:(Mutable_graph.version t.mg)
+    (Serve.model_weights t.live)

@@ -105,10 +105,26 @@ val mutable_graph : t -> Mutable_graph.t
 val replica : t -> Serve.t
 (** The live replica (retired ones are gone). *)
 
+val batch_failures : t -> int
+(** Fault-injected micro-batch failures aggregated across every replica
+    the subsystem has owned (see {!Serve.batch_failures}). *)
+
+val fault_shed : t -> int
+(** Requests shed after a failed retry, aggregated like
+    {!batch_failures} — a subset of {!shed}, so degradation under faults
+    stays fully accounted across re-warms. *)
+
 val obs : t -> Hector_obs.t
+
+val checkpoint : t -> Hector_ckpt.Checkpoint.t
+(** The subsystem's restorable state as a checkpoint: the pinned weight
+    set plus the mutable graph's capacity epoch and delta version — what
+    a restarted server needs to know which generation its weights belong
+    to.  Persist it with {!Hector_ckpt.Checkpoint.save}. *)
 
 val metrics_json : t -> string
 (** Single-line JSON in the shared {!Hector_obs.Metrics} envelope
     ([subsystem = "stream"]): delta/op/epoch/compaction/CSR counters,
-    recompiles and re-warms, update time, and served/shed/rejected
-    aggregated across every replica the subsystem has owned. *)
+    recompiles and re-warms, update time, served/shed/rejected and the
+    fault counters aggregated across every replica the subsystem has
+    owned. *)

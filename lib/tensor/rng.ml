@@ -11,6 +11,16 @@ let create seed =
   let s = if Int64.equal s 0L then 0x2545f4914f6cdd1dL else s in
   { state = s }
 
+let state t = t.state
+
+let of_state s =
+  (* xorshift64* has a single absorbing state at zero; map it to the same
+     replacement [create] uses so every int64 yields a live generator *)
+  let s = if Int64.equal s 0L then 0x2545f4914f6cdd1dL else s in
+  { state = s }
+
+let set_state t s = t.state <- (of_state s).state
+
 let next t =
   (* xorshift64* *)
   let x = t.state in

@@ -14,6 +14,19 @@ val create : int -> t
     same seed produce identical streams.  [seed] may be any integer; it is
     hashed internally so small seeds are fine. *)
 
+val state : t -> int64
+(** The generator's current cursor — everything needed to reproduce the
+    rest of its stream.  Serialized into checkpoints so a resumed run
+    continues the exact sequence an uninterrupted run would have drawn. *)
+
+val of_state : int64 -> t
+(** [of_state s] rebuilds the generator {!state} captured; zero (the
+    xorshift absorbing state, never produced by a live generator) is
+    replaced by a fixed non-zero constant. *)
+
+val set_state : t -> int64 -> unit
+(** In-place {!of_state}. *)
+
 val split : t -> t
 (** [split t] derives an independent generator from [t], advancing [t].
     Useful to give each subsystem its own stream. *)

@@ -289,19 +289,19 @@ let test_dist_knobs () =
   check_bool "channels knob" true (k.Knobs.dist_channels = Some 4);
   check_bool "bucket knob" true (k.Knobs.dist_bucket_kb = Some 128);
   check_bool "pipeline knob" true (k.Knobs.dist_pipeline = Some 2);
-  let bad =
-    Knobs.parse (function
-      | "HECTOR_DIST_PARTS" -> Some "zero"
-      | "HECTOR_DIST_LATENCY_US" -> Some "-3"
-      | "HECTOR_DIST_CHANNELS" -> Some "0"
-      | "HECTOR_DIST_BUCKET_KB" -> Some "-1"
-      | "HECTOR_DIST_PIPELINE" -> Some "none"
-      | _ -> None)
+  (* malformed values raise instead of silently falling back *)
+  let rejects name v =
+    match Knobs.parse (fun n -> if String.equal n name then Some v else None) with
+    | _ -> Alcotest.failf "%s=%s accepted" name v
+    | exception Invalid_argument msg ->
+        check_bool (name ^ " error names the knob") true
+          (String.length msg > 6 && String.sub msg 0 6 = "Knobs:")
   in
-  check_bool "invalid knobs ignored" true
-    (bad.Knobs.dist_parts = None && bad.Knobs.dist_latency_us = None
-    && bad.Knobs.dist_channels = None && bad.Knobs.dist_bucket_kb = None
-    && bad.Knobs.dist_pipeline = None)
+  rejects "HECTOR_DIST_PARTS" "zero";
+  rejects "HECTOR_DIST_LATENCY_US" "-3";
+  rejects "HECTOR_DIST_CHANNELS" "0";
+  rejects "HECTOR_DIST_BUCKET_KB" "-1";
+  rejects "HECTOR_DIST_PIPELINE" "none"
 
 (* --- exactness: partitioned == single-replica -------------------------- *)
 

@@ -22,4 +22,5 @@ let () =
       ("obs", Test_obs.suite);
       ("dist", Test_dist.suite);
       ("stream", Test_stream.suite);
+      ("ckpt", Test_ckpt.suite);
     ]

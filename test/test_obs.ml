@@ -262,14 +262,39 @@ let test_knobs_parse () =
   check_bool "domains parsed" true ((p [ ("HECTOR_DOMAINS", "3") ]).Knobs.domains = Some 3);
   check_bool "domains capped" true
     ((p [ ("HECTOR_DOMAINS", "100000") ]).Knobs.domains = Some Domain_pool.max_domains);
-  check_bool "domains invalid ignored" true ((p [ ("HECTOR_DOMAINS", "zero") ]).Knobs.domains = None);
-  check_bool "domains nonpositive ignored" true ((p [ ("HECTOR_DOMAINS", "0") ]).Knobs.domains = None);
+  (* malformed values raise with a clear message instead of silently
+     falling back — a typo'd knob must not be ignored *)
+  let rejects name assoc =
+    match p assoc with
+    | _ -> Alcotest.failf "%s accepted" name
+    | exception Invalid_argument msg ->
+        check_bool (name ^ " error names the knob") true
+          (String.length msg > 6 && String.sub msg 0 6 = "Knobs:")
+  in
+  rejects "domains invalid" [ ("HECTOR_DOMAINS", "zero") ];
+  rejects "domains nonpositive" [ ("HECTOR_DOMAINS", "0") ];
+  rejects "domains negative" [ ("HECTOR_DOMAINS", "-4") ];
+  check_bool "blank domains reads as unset" true
+    ((p [ ("HECTOR_DOMAINS", "  ") ]).Knobs.domains = None);
   check_bool "arena off" true (not (p [ ("HECTOR_ARENA", "0") ]).Knobs.arena);
   check_bool "arena falsy word" true (not (p [ ("HECTOR_ARENA", "false") ]).Knobs.arena);
-  check_bool "arena stays on for junk" true (p [ ("HECTOR_ARENA", "banana") ]).Knobs.arena;
+  rejects "arena junk" [ ("HECTOR_ARENA", "banana") ];
   check_bool "obs on" true (p [ ("HECTOR_OBS", "1") ]).Knobs.obs;
   check_bool "obs truthy word" true (p [ ("HECTOR_OBS", "true") ]).Knobs.obs;
-  check_bool "obs stays off for junk" true (not (p [ ("HECTOR_OBS", "banana") ]).Knobs.obs)
+  rejects "obs junk" [ ("HECTOR_OBS", "banana") ];
+  (* the fault/checkpoint knobs ride the same validation *)
+  check_bool "fault rate parsed" true
+    ((p [ ("HECTOR_FAULT_RATE", "0.25") ]).Knobs.fault_rate = Some 0.25);
+  rejects "fault rate above 1" [ ("HECTOR_FAULT_RATE", "1.5") ];
+  rejects "fault rate junk" [ ("HECTOR_FAULT_RATE", "abc") ];
+  check_bool "fault seed parsed" true
+    ((p [ ("HECTOR_FAULT_SEED", "42") ]).Knobs.fault_seed = Some 42);
+  rejects "fault seed junk" [ ("HECTOR_FAULT_SEED", "4.2") ];
+  check_bool "ckpt keep parsed" true
+    ((p [ ("HECTOR_CKPT_KEEP", "3") ]).Knobs.ckpt_keep = Some 3);
+  rejects "ckpt keep zero" [ ("HECTOR_CKPT_KEEP", "0") ];
+  check_bool "ckpt dir passes through" true
+    ((p [ ("HECTOR_CKPT_DIR", "/tmp/ck") ]).Knobs.ckpt_dir = Some "/tmp/ck")
 
 let test_knobs_refresh () =
   Unix.putenv "HECTOR_OBS" "1";

@@ -58,8 +58,15 @@ let test_env_sizing () =
       check_bool "sequential" true (Dp.sequential ());
       set "1000000";
       check_int "capped at max_domains" Dp.max_domains (Dp.num_domains ());
-      set "garbage";
-      check_bool "garbage falls back to >= 1" true (Dp.num_domains () >= 1);
+      (* malformed values now fail loudly instead of silently falling back *)
+      Unix.putenv "HECTOR_DOMAINS" "garbage";
+      (match Hector_runtime.Knobs.refresh () with
+      | _ -> Alcotest.fail "garbage HECTOR_DOMAINS accepted"
+      | exception Invalid_argument _ -> ());
+      Unix.putenv "HECTOR_DOMAINS" "-2";
+      (match Hector_runtime.Knobs.refresh () with
+      | _ -> Alcotest.fail "negative HECTOR_DOMAINS accepted"
+      | exception Invalid_argument _ -> ());
       set "5";
       with_domains 2 (fun () ->
           check_int "override beats the environment" 2 (Dp.num_domains ())))

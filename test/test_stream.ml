@@ -507,13 +507,21 @@ let test_stream_knobs () =
   let compact env = (parse env).Knobs.stream_compact in
   check_bool "slack parses" true (slack [ ("HECTOR_STREAM_SLACK", "0.75") ] = Some 0.75);
   check_bool "slack zero is legal" true (slack [ ("HECTOR_STREAM_SLACK", "0") ] = Some 0.0);
-  check_bool "negative slack rejected" true (slack [ ("HECTOR_STREAM_SLACK", "-1") ] = None);
-  check_bool "garbage slack rejected" true (slack [ ("HECTOR_STREAM_SLACK", "lots") ] = None);
   check_bool "unset slack" true (slack [] = None);
   check_bool "compact parses" true (compact [ ("HECTOR_STREAM_COMPACT", "0.5") ] = Some 0.5);
   check_bool "compact of 1 legal" true (compact [ ("HECTOR_STREAM_COMPACT", "1.0") ] = Some 1.0);
-  check_bool "compact above 1 rejected" true (compact [ ("HECTOR_STREAM_COMPACT", "1.5") ] = None);
-  check_bool "compact of 0 rejected" true (compact [ ("HECTOR_STREAM_COMPACT", "0") ] = None)
+  (* malformed values raise instead of silently falling back *)
+  let rejects label env =
+    match parse env with
+    | _ -> Alcotest.failf "%s accepted" label
+    | exception Invalid_argument msg ->
+        check_bool (label ^ " error names the knob") true
+          (String.length msg > 6 && String.sub msg 0 6 = "Knobs:")
+  in
+  rejects "negative slack" [ ("HECTOR_STREAM_SLACK", "-1") ];
+  rejects "garbage slack" [ ("HECTOR_STREAM_SLACK", "lots") ];
+  rejects "compact above 1" [ ("HECTOR_STREAM_COMPACT", "1.5") ];
+  rejects "compact of 0" [ ("HECTOR_STREAM_COMPACT", "0") ]
 
 let suite =
   [
